@@ -1,0 +1,17 @@
+"""Benchmark: paper Section VI — occupation skill-relatedness case study."""
+
+from conftest import emit
+
+from repro.experiments import case_study
+
+
+def test_case_study(benchmark, occupation_study):
+    result = benchmark.pedantic(case_study.run,
+                                kwargs={"study": occupation_study},
+                                rounds=1, iterations=1)
+    emit(case_study.format_result(result))
+    # Paper shape: every reported ordering favours NC over DF over the
+    # unfiltered network.
+    assert result.orderings_hold()
+    assert result.nc.nmi_infomap_two_digit \
+        >= result.df.nmi_infomap_two_digit - 1e-9

@@ -1,0 +1,15 @@
+"""Benchmark: paper Fig. 1 — hairball to communities via the NC backbone."""
+
+from conftest import emit
+
+from repro.experiments import fig1_example
+
+
+def test_fig01_example(benchmark):
+    result = benchmark.pedantic(fig1_example.run, kwargs={"seed": 0},
+                                rounds=1, iterations=1)
+    emit(fig1_example.format_result(result))
+    # The paper's claim: raw density collapses community discovery; the
+    # backbone recovers the ground truth classes.
+    assert result.communities_raw <= 2
+    assert result.nmi_backbone > 0.9

@@ -1,0 +1,13 @@
+"""Benchmark: paper Fig. 2 — delta shifts the NC acceptance boundary."""
+
+from conftest import emit
+
+from repro.experiments import fig2_threshold
+
+
+def test_fig02_threshold(benchmark, world):
+    result = benchmark.pedantic(fig2_threshold.run,
+                                kwargs={"world": world}, rounds=1,
+                                iterations=1)
+    emit(fig2_threshold.format_result(result))
+    assert fig2_threshold.monotone_in_delta(result)

@@ -1,0 +1,13 @@
+"""Benchmark: paper Fig. 3 — the toy hub separating NC from DF."""
+
+from conftest import emit
+
+from repro.experiments import fig3_toy
+
+
+def test_fig03_toy(benchmark):
+    result = benchmark.pedantic(fig3_toy.run, rounds=1, iterations=1)
+    emit(fig3_toy.format_result(result))
+    assert result.nc_prefers_peripheral()
+    assert fig3_toy.PERIPHERAL_EDGE in result.nc_kept
+    assert fig3_toy.PERIPHERAL_EDGE not in result.df_kept

@@ -1,0 +1,20 @@
+"""Benchmark: paper Fig. 4 — recovery of a planted BA backbone vs noise."""
+
+from conftest import emit
+
+from repro.experiments import fig4_synthetic
+
+
+def test_fig04_recovery(benchmark):
+    result = benchmark.pedantic(
+        fig4_synthetic.run,
+        kwargs={"n_nodes": 200, "repetitions": 1, "seed": 0},
+        rounds=1, iterations=1)
+    emit(fig4_synthetic.format_result(result))
+    # Paper shape: NC most resilient overall; NT/DF strong only at the
+    # lowest noise levels.
+    assert result.best_at_high_noise() == "NC"
+    assert result.series["NT"][0] > 0.95
+    assert result.series["DF"][0] > 0.95
+    assert result.series["NC"][-1] > result.series["DF"][-1]
+    assert result.series["NC"][-1] > result.series["NT"][-1]

@@ -1,0 +1,18 @@
+"""Benchmark: paper Fig. 5 — edge-weight CCDFs of the six networks."""
+
+from conftest import emit
+
+from repro.experiments import fig5_weights
+
+
+def test_fig05_weights(benchmark, world):
+    result = benchmark.pedantic(fig5_weights.run,
+                                kwargs={"world": world}, rounds=1,
+                                iterations=1)
+    emit(fig5_weights.format_result(result))
+    # Paper shape: broad distributions everywhere, with Country Space
+    # the (possible) narrow exception.
+    assert result.broad_distributions()
+    spreads = {name: facts["orders_of_magnitude"]
+               for name, facts in result.summary.items()}
+    assert spreads["trade"] > spreads["country_space"]

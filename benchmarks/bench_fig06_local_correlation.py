@@ -1,0 +1,14 @@
+"""Benchmark: paper Fig. 6 — local correlation of edge weights."""
+
+from conftest import emit
+
+from repro.experiments import fig6_local_correlation
+
+
+def test_fig06_local_correlation(benchmark, world):
+    result = benchmark.pedantic(fig6_local_correlation.run,
+                                kwargs={"world": world}, rounds=1,
+                                iterations=1)
+    emit(fig6_local_correlation.format_result(result))
+    # Paper shape: all clearly positive (theirs: 0.42 to 0.75).
+    assert result.all_positive()

@@ -1,0 +1,22 @@
+"""Benchmark: paper Fig. 7 — coverage sweeps across all six networks."""
+
+from conftest import emit
+
+from repro.experiments import fig7_topology
+
+
+def test_fig07_topology(benchmark, world):
+    result = benchmark.pedantic(fig7_topology.run,
+                                kwargs={"world": world}, rounds=1,
+                                iterations=1)
+    emit(fig7_topology.format_result(result))
+    # Paper shape: at full share everyone covers; at strict shares NC
+    # should never be the critical failure (DF was, on Ownership).
+    for name in result.sweeps:
+        for code in ("NT", "DF", "NC"):
+            assert result.coverage_at(name, code, 1.0) >= 0.999
+    strict = result.shares[0]
+    for name in result.sweeps:
+        nc = result.coverage_at(name, "NC", strict)
+        nt = result.coverage_at(name, "NT", strict)
+        assert nc >= nt - 0.05, (name, nc, nt)

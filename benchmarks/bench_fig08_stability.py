@@ -1,0 +1,21 @@
+"""Benchmark: paper Fig. 8 — stability sweeps across all six networks."""
+
+import numpy as np
+
+from conftest import emit
+
+from repro.experiments import fig8_stability
+
+
+def test_fig08_stability(benchmark, world):
+    result = benchmark.pedantic(fig8_stability.run,
+                                kwargs={"world": world}, rounds=1,
+                                iterations=1)
+    emit(fig8_stability.format_result(result))
+    # Paper shape: "all backbones are very stable, always exceeding
+    # .84" — we demand a high floor and NC comparable to DF.
+    assert result.minimum_stability() > 0.6
+    for name, by_method in result.sweeps.items():
+        nc = np.nanmean(by_method["NC"].values)
+        df = np.nanmean(by_method["DF"].values)
+        assert nc > df - 0.05, (name, nc, df)

@@ -1,0 +1,20 @@
+"""Benchmark: paper Fig. 9 — running-time scaling of the methods."""
+
+from conftest import emit
+
+from repro.experiments import fig9_scalability
+
+
+def test_fig09_scalability(benchmark):
+    result = benchmark.pedantic(
+        fig9_scalability.run,
+        kwargs={"fast_sizes": (2_000, 8_000, 32_000, 128_000),
+                "slow_sizes": (200, 400, 800), "repeats": 1},
+        rounds=1, iterations=1)
+    emit(fig9_scalability.format_result(result))
+    # Paper shape: NC scales near-linearly (empirically |E|^1.14) and
+    # HSS is orders of magnitude slower per edge.
+    assert result.nc_near_linear()
+    nc_rate = result.seconds["NC"][-1] / result.edge_counts["NC"][-1]
+    hss_rate = result.seconds["HSS"][-1] / result.edge_counts["HSS"][-1]
+    assert hss_rate > 10 * nc_rate

@@ -1,0 +1,15 @@
+"""Benchmark: paper Table I — validating the NC variance model."""
+
+from conftest import emit
+
+from repro.experiments import table1_variance
+
+
+def test_table1_variance(benchmark, world):
+    result = benchmark.pedantic(table1_variance.run,
+                                kwargs={"world": world}, rounds=1,
+                                iterations=1)
+    emit(table1_variance.format_result(result))
+    # Paper shape: every correlation positive and wildly significant
+    # (paper: all p < 1e-9).
+    assert result.all_positive_and_significant()

@@ -1,0 +1,22 @@
+"""Benchmark: paper Table II — backbone-restricted predictive quality."""
+
+from conftest import emit
+
+from repro.experiments import table2_quality
+
+
+def test_table2_quality(benchmark, world):
+    result = benchmark.pedantic(table2_quality.run,
+                                kwargs={"world": world}, rounds=1,
+                                iterations=1)
+    emit(table2_quality.format_result(result))
+    # Paper shape: NC is above 1.0 on every network (in the paper it is
+    # the ONLY such method) and dominates the edge-budget-matched
+    # competitors (NT, DF, HSS) on a clear majority of networks. The
+    # parameter-free MST/DS points are not budget-comparable (the paper
+    # reports DS as n/a on half the networks). On our synthetic world
+    # the one deviation is Ownership, where the FDI covariate is close
+    # to a direct proxy for the latent truth and HSS/DF edge ahead —
+    # recorded in EXPERIMENTS.md.
+    assert result.nc_always_above_one()
+    assert result.nc_budgeted_win_share() >= 0.6

@@ -1,0 +1,30 @@
+"""Benchmark fixtures: shared paper-scale world and helpers.
+
+Every benchmark regenerates one of the paper's tables or figures,
+prints the rows/series the paper reports (visible with ``-s`` and in
+this file's captured output on failure), and asserts the qualitative
+shape the paper claims.
+"""
+
+import pytest
+
+from repro.generators import SyntheticWorld, generate_occupation_study
+
+
+@pytest.fixture(scope="session")
+def world():
+    """Paper-scale synthetic country world (shared across benchmarks)."""
+    return SyntheticWorld(n_countries=120, n_years=3, seed=0)
+
+
+@pytest.fixture(scope="session")
+def occupation_study():
+    """Paper-scale occupation case-study dataset."""
+    return generate_occupation_study(n_occupations=220, n_skills=150,
+                                     n_major_groups=8, seed=0)
+
+
+def emit(text: str) -> None:
+    """Print a rendered experiment table beneath the benchmark output."""
+    print()
+    print(text)

@@ -1,0 +1,33 @@
+"""Community recovery: the paper's Fig. 1 demonstration.
+
+A 151-node planted-partition network so dense that label propagation on
+the raw data collapses into one giant community. The Noise-Corrected
+backbone prunes the noise; the same algorithm then recovers the planted
+classes exactly.
+
+Run:  python examples/community_recovery.py
+"""
+
+from repro import (NoiseCorrectedBackbone, Partition, label_propagation,
+                   normalized_mutual_information, planted_partition)
+
+planted = planted_partition(n_nodes=151, n_communities=5, seed=0)
+truth = Partition(planted.labels)
+print(f"raw network: {planted.table.m} edges over "
+      f"{planted.table.n_nodes} nodes "
+      f"({planted.table.m / (151 * 150 / 2):.0%} of all pairs)")
+
+raw_communities = label_propagation(planted.table, seed=0)
+print(f"label propagation on the raw hairball: "
+      f"{raw_communities.n_communities} community(ies), "
+      f"NMI vs truth = "
+      f"{normalized_mutual_information(raw_communities, truth):.3f}")
+
+for delta in (1.28, 1.64, 2.32):
+    backbone = NoiseCorrectedBackbone(delta=delta).extract(planted.table)
+    communities = label_propagation(backbone, seed=0)
+    nmi = normalized_mutual_information(communities, truth)
+    print(f"NC backbone (delta={delta}): {backbone.m:5d} edges, "
+          f"{communities.n_communities} communities, NMI = {nmi:.3f}")
+
+print("\nThe hairball hides the structure; the backbone recovers it.")

@@ -1,0 +1,35 @@
+"""Noise recovery: the paper's Fig. 4 synthetic benchmark, hands-on.
+
+Plants a Barabási–Albert backbone, buries it under increasing noise and
+watches each method try to dig it back out at a fixed edge budget.
+
+Run:  python examples/noise_recovery.py
+"""
+
+from repro import add_noise, barabasi_albert, paper_methods, recovery_jaccard
+from repro.backbones import SinkhornConvergenceError
+from repro.util import format_table
+
+truth = barabasi_albert(150, 1.5, seed=1)
+print(f"planted BA network: {truth.n_nodes} nodes, {truth.m} edges "
+      f"(avg degree {truth.degree().mean():.2f})")
+
+rows = []
+for eta in (0.0, 0.1, 0.2, 0.3):
+    noisy = add_noise(truth, eta, seed=2)
+    row = [eta]
+    for method in paper_methods():
+        try:
+            row.append(recovery_jaccard(noisy, method))
+        except SinkhornConvergenceError:
+            row.append(None)
+    rows.append(row)
+
+codes = [method.code for method in paper_methods()]
+print()
+print(format_table(["eta"] + codes, rows,
+                   title="Jaccard recovery of the planted edge set "
+                         "(1.0 = perfect)"))
+print("\nAs eta grows the noise and signal distributions overlap; the "
+      "Noise-Corrected backbone degrades the most gracefully (paper "
+      "Fig. 4).")

@@ -1,0 +1,31 @@
+"""Occupation mobility: the paper's Section VI case study end-to-end.
+
+Builds the synthetic O*NET-style skill co-occurrence network, extracts
+NC and DF backbones of equal size, and compares them on community
+structure (Infomap compression, modularity and NMI against the expert
+classification) and on predicting occupational labor flows.
+
+Run:  python examples/occupation_mobility.py
+"""
+
+from repro.experiments import case_study
+from repro.generators import generate_occupation_study
+
+study = generate_occupation_study(n_occupations=220, n_skills=150,
+                                  n_major_groups=8, seed=0)
+print(f"occupations: {study.n_occupations}, "
+      f"skills: {study.skill_matrix.shape[1]}, "
+      f"co-occurrence edges: {study.cooccurrence.m}, "
+      f"total switchers: {int(study.flows.sum()):,}")
+
+result = case_study.run(study=study)
+print()
+print(case_study.format_result(result))
+print()
+if result.orderings_hold():
+    print("All of the paper's orderings hold: the NC backbone compresses "
+          "better, aligns better with the expert classification, and "
+          "selects occupation pairs whose labor flows are easier to "
+          "predict — full < DF < NC.")
+else:
+    print("Warning: some orderings differ from the paper on this seed.")

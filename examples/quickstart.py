@@ -1,0 +1,44 @@
+"""Quickstart: extract a Noise-Corrected backbone from a noisy network.
+
+Builds the paper's Fig. 3 toy graph — a hub with five spokes plus one
+weak peripheral edge — scores it with the Noise-Corrected method and the
+Disparity Filter, and shows why their backbones differ.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (DisparityFilter, EdgeTable, NoiseCorrectedBackbone)
+
+# A hub (node 0) showering weight on five spokes; nodes 1 and 2 also
+# share a modest direct connection.
+edges = [
+    (0, 1, 10.0), (0, 2, 10.0), (0, 3, 12.0), (0, 4, 12.0), (0, 5, 12.0),
+    (1, 2, 4.0),
+]
+network = EdgeTable.from_pairs(edges, directed=False)
+print(f"input network: {network}")
+
+# --- Noise-Corrected backbone (delta = number of standard deviations an
+# --- edge must beat its null expectation by).
+nc = NoiseCorrectedBackbone(delta=1.0)
+scored = nc.score(network)
+print("\nNC scores (transformed lift, with standard deviations):")
+for (u, v, w), score, sd in zip(scored.table.iter_edges(), scored.score,
+                                scored.sdev):
+    print(f"  {u}-{v}  weight={w:5.1f}  score={score:+.4f}  sd={sd:.4f}")
+
+# Keep the three most salient edges under each method's own ranking.
+backbone = scored.top_k(3)
+print(f"\nNC backbone (top 3 edges):")
+for u, v, w in backbone.iter_edges():
+    print(f"  {u}-{v}  weight={w}")
+
+# --- Compare with the Disparity Filter at the same edge budget.
+df_backbone = DisparityFilter().extract(network, n_edges=3)
+print(f"\nDF backbone (top 3 edges):")
+for u, v, w in df_backbone.iter_edges():
+    print(f"  {u}-{v}  weight={w}")
+
+print("\nNote the disagreement on edge 1-2: weak in absolute terms, but "
+      "far above what two low-strength nodes would share at random — NC "
+      "keeps it, DF prefers the hub spokes.")

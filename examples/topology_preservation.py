@@ -1,0 +1,47 @@
+"""Topology preservation: do backbones keep the network's character?
+
+The paper defines a backbone as a subset that preserves "the substantive
+and topological characteristics of the network". This example measures
+exactly that on the bundled trade network: clustering, assortativity and
+reciprocity of each method's backbone versus the full network, at one
+shared edge budget.
+
+Run:  python examples/topology_preservation.py
+"""
+
+from repro import datasets, paper_methods
+from repro.backbones import SinkhornConvergenceError
+from repro.graph import (average_weighted_clustering,
+                         degree_assortativity, reciprocity)
+from repro.util import format_table
+
+
+def profile(table):
+    return [average_weighted_clustering(table),
+            degree_assortativity(table), reciprocity(table)]
+
+
+trade = datasets.load_country_network("trade", 0)
+budget = int(0.15 * trade.m)
+print(f"trade network: {trade.m} edges, budget {budget} "
+      f"({budget / trade.m:.0%})\n")
+
+rows = [["(full network)", trade.m] + profile(trade)]
+for method in paper_methods():
+    try:
+        if method.parameter_free:
+            backbone = method.extract(trade)
+        else:
+            backbone = method.extract(trade, n_edges=budget)
+    except SinkhornConvergenceError:
+        rows.append([method.code, None, None, None, None])
+        continue
+    rows.append([method.code, backbone.m] + profile(backbone))
+
+print(format_table(
+    ["method", "edges", "weighted clustering", "degree assortativity",
+     "reciprocity"], rows,
+    title="Topology preservation at a matched edge budget"))
+print("\nA good backbone should sit near the full network's row; "
+      "tree-like backbones (MST) erase clustering entirely, and naive "
+      "thresholding concentrates on reciprocal hub-hub links.")

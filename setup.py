@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+Kept so that ``pip install -e .`` works in offline environments where the
+``wheel`` package (required by PEP 660 editable installs) is unavailable.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

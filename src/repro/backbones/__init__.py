@@ -1,0 +1,36 @@
+"""Backbone methods: the shared interface and the paper's five baselines.
+
+The Noise-Corrected method itself lives in :mod:`repro.core`; it shares
+the :class:`BackboneMethod` interface defined here and is reachable
+through the registry.
+"""
+
+from .base import BackboneMethod, ScoredEdges, prepare_table
+from .disparity import DisparityFilter
+from .doubly_stochastic import (DoublyStochastic, SinkhornConvergenceError,
+                                sinkhorn_knopp)
+from .high_salience import HighSalienceSkeleton
+from .kcore import KCore, core_numbers
+from .mst import MaximumSpanningTree
+from .naive import NaiveThreshold
+from .registry import (PAPER_METHOD_CODES, get_method, method_codes,
+                       paper_methods)
+
+__all__ = [
+    "BackboneMethod",
+    "DisparityFilter",
+    "DoublyStochastic",
+    "HighSalienceSkeleton",
+    "KCore",
+    "MaximumSpanningTree",
+    "NaiveThreshold",
+    "core_numbers",
+    "PAPER_METHOD_CODES",
+    "ScoredEdges",
+    "SinkhornConvergenceError",
+    "get_method",
+    "method_codes",
+    "paper_methods",
+    "prepare_table",
+    "sinkhorn_knopp",
+]

@@ -1,0 +1,85 @@
+"""k-core decomposition backbone (Seidman 1983).
+
+One of the "classic ways to do network backboning" the paper's related
+work lists: recursively strip nodes of degree below ``k``; the k-core is
+the maximal subgraph where every node keeps at least ``k`` neighbors.
+Included as an additional structural baseline beyond the paper's main
+five — useful for sanity comparisons in examples and tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Tuple
+
+import numpy as np
+
+from ..graph.edge_table import EdgeTable
+from ..graph.graph import Graph
+from .base import BackboneMethod, ScoredEdges, prepare_table
+
+
+def core_numbers(table: EdgeTable) -> np.ndarray:
+    """Core number per node via min-degree peeling.
+
+    The core number of a node is the largest ``k`` such that the node
+    belongs to the k-core. Directed tables are treated as undirected.
+    """
+    working = table if not table.directed else table.symmetrized("sum")
+    working = working.without_self_loops()
+    graph = Graph(working)
+    n = working.n_nodes
+    degree_work = working.degree().astype(np.int64)
+    core = np.zeros(n, dtype=np.int64)
+    removed = np.zeros(n, dtype=bool)
+    heap: List[Tuple[int, int]] = [(int(d), v)
+                                   for v, d in enumerate(degree_work)]
+    heapq.heapify(heap)
+    peel_level = 0
+    while heap:
+        d, node = heapq.heappop(heap)
+        if removed[node] or d != degree_work[node]:
+            continue  # stale heap entry
+        removed[node] = True
+        peel_level = max(peel_level, d)
+        core[node] = peel_level
+        neighbors, _ = graph.neighbors_of(node)
+        for neighbor in neighbors.tolist():
+            if not removed[neighbor]:
+                degree_work[neighbor] -= 1
+                heapq.heappush(heap, (int(degree_work[neighbor]),
+                                      neighbor))
+    return core
+
+
+class KCore(BackboneMethod):
+    """Backbone keeping edges inside the k-core.
+
+    ``score(edge) = min(core(u), core(v))``: thresholding at ``k - 0.5``
+    keeps exactly the k-core's edges.
+    """
+
+    name = "k-core"
+    code = "KC"
+
+    def __init__(self, k: int = 2):
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        self.k = int(k)
+
+    def score(self, table: EdgeTable) -> ScoredEdges:
+        table = prepare_table(table)
+        working = table if not table.directed \
+            else table.symmetrized("sum")
+        core = core_numbers(working)
+        score = np.minimum(core[working.src],
+                           core[working.dst]).astype(np.float64)
+        return ScoredEdges(table=working, score=score, method=self.name)
+
+    def extract(self, table: EdgeTable, threshold=None, share=None,
+                n_edges=None) -> EdgeTable:
+        """Default extraction keeps the configured k-core."""
+        if threshold is None and share is None and n_edges is None:
+            threshold = self.k - 0.5
+        return super().extract(table, threshold=threshold, share=share,
+                               n_edges=n_edges)

@@ -1,0 +1,54 @@
+"""Name-indexed access to every backbone method.
+
+The experiment harness iterates "all six methods of the paper" in many
+places; this registry is the single source of that list.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.noise_corrected import (NoiseCorrectedBackbone,
+                                    NoiseCorrectedPValue)
+from .base import BackboneMethod
+from .disparity import DisparityFilter
+from .doubly_stochastic import DoublyStochastic
+from .high_salience import HighSalienceSkeleton
+from .kcore import KCore
+from .mst import MaximumSpanningTree
+from .naive import NaiveThreshold
+
+_FACTORIES: Dict[str, Callable[[], BackboneMethod]] = {
+    "NT": NaiveThreshold,
+    "MST": MaximumSpanningTree,
+    "DS": DoublyStochastic,
+    "HSS": HighSalienceSkeleton,
+    "DF": DisparityFilter,
+    "NC": NoiseCorrectedBackbone,
+    "NCp": NoiseCorrectedPValue,
+    "KC": KCore,
+}
+
+#: Method order used in the paper's figures and tables.
+PAPER_METHOD_CODES = ("NT", "MST", "DS", "HSS", "DF", "NC")
+
+
+def get_method(code: str, **kwargs) -> BackboneMethod:
+    """Instantiate a backbone method by its short code (e.g. ``"NC"``)."""
+    try:
+        factory = _FACTORIES[code]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES))
+        raise ValueError(f"unknown backbone code {code!r}; "
+                         f"known codes: {known}") from None
+    return factory(**kwargs)
+
+
+def paper_methods() -> List[BackboneMethod]:
+    """The six methods of the paper's evaluation, in paper order."""
+    return [get_method(code) for code in PAPER_METHOD_CODES]
+
+
+def method_codes() -> List[str]:
+    """All registered short codes."""
+    return sorted(_FACTORIES)

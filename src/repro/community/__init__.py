@@ -1,0 +1,26 @@
+"""Community-discovery substrate: modularity, Louvain, Infomap-lite, NMI."""
+
+from .infomap import (compression_gain, infomap, map_equation_codelength)
+from .label_propagation import label_propagation
+from .louvain import louvain
+from .modularity import modularity
+from .nmi import (contingency_table, entropy, mutual_information,
+                  normalized_mutual_information)
+from .partition import (Partition, one_community_partition,
+                        singleton_partition)
+
+__all__ = [
+    "Partition",
+    "compression_gain",
+    "contingency_table",
+    "entropy",
+    "infomap",
+    "label_propagation",
+    "louvain",
+    "map_equation_codelength",
+    "modularity",
+    "mutual_information",
+    "normalized_mutual_information",
+    "one_community_partition",
+    "singleton_partition",
+]

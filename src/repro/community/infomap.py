@@ -1,0 +1,134 @@
+"""Two-level map equation and an Infomap-style optimizer.
+
+The paper's case study (Section VI) quantifies backbone quality by how
+much the Infomap community structure compresses a random walk on the
+backbone: the NC backbone yields a 15.0% codelength reduction against
+9.3% for the Disparity Filter. This module implements
+
+* the exact two-level **map equation** codelength of a partition for an
+  undirected weighted network (Rosvall & Bergstrom 2008), and
+* a greedy optimizer ("Infomap-lite"): Louvain-style local moving that
+  directly minimizes the map equation instead of modularity.
+
+For an undirected network the random walk's stationary visit rate of
+node ``i`` is ``p_i = s_i / 2W``; module exit rates are cut weights over
+``2W``; no teleportation is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..generators.seeds import SeedLike, make_rng
+from ..graph.edge_table import EdgeTable
+from ..graph.graph import Graph
+from ..util.validation import require
+from .partition import Partition, one_community_partition
+
+
+def _plogp(values: np.ndarray) -> np.ndarray:
+    values = np.asarray(values, dtype=np.float64)
+    out = np.zeros_like(values)
+    positive = values > 0
+    out[positive] = values[positive] * np.log2(values[positive])
+    return out
+
+
+def map_equation_codelength(table: EdgeTable,
+                            partition: Partition) -> float:
+    """Average per-step description length (bits) of the partition.
+
+    Implements ``L = q H(Q) + Σ_c p_c H(P_c)`` in its expanded
+    plogp form. The one-community partition reduces to the entropy of
+    the stationary distribution — the "codelength without communities"
+    baseline the paper quotes.
+    """
+    require(len(partition) == table.n_nodes,
+            "partition must cover all nodes")
+    working = table if not table.directed else table.symmetrized("sum")
+    working = working.without_self_loops()
+    total = working.total_weight
+    if total <= 0:
+        return 0.0
+    two_w = 2.0 * total
+    labels = partition.labels
+    k = partition.n_communities
+
+    visit = working.strength() / two_w
+    cross = labels[working.src] != labels[working.dst]
+    exit_weight = np.bincount(labels[working.src[cross]],
+                              weights=working.weight[cross], minlength=k)
+    exit_weight += np.bincount(labels[working.dst[cross]],
+                               weights=working.weight[cross], minlength=k)
+    q = exit_weight / two_w                 # module exit rates
+    p_community = np.bincount(labels, weights=visit, minlength=k)
+
+    q_total = q.sum()
+    # Expanded map equation (plogp formulation).
+    codelength = (_plogp(np.array([q_total]))[0]
+                  - 2.0 * _plogp(q).sum()
+                  - _plogp(visit).sum()
+                  + _plogp(q + p_community).sum())
+    return float(codelength)
+
+
+def infomap(table: EdgeTable, seed: SeedLike = 0,
+            max_sweeps: int = 30) -> Partition:
+    """Greedy two-level map-equation minimization.
+
+    Local moving only (no aggregation phase): adequate for the
+    backbone-sized networks of the case study, and deterministic given
+    the seed.
+    """
+    working = table if not table.directed else table.symmetrized("sum")
+    working = working.without_self_loops()
+    graph = Graph(working)
+    rng = make_rng(seed)
+    n = working.n_nodes
+
+    labels = Partition(louvain_seed_labels(working, seed)).labels.copy()
+    best_length = map_equation_codelength(working, Partition(labels))
+
+    for _ in range(max_sweeps):
+        improved = False
+        for node in rng.permutation(n):
+            node = int(node)
+            current = labels[node]
+            neighbors, _ = graph.neighbors_of(node)
+            candidates = {int(labels[v]) for v in neighbors.tolist()}
+            candidates.discard(current)
+            for candidate in sorted(candidates):
+                labels[node] = candidate
+                length = map_equation_codelength(working,
+                                                 Partition(labels))
+                if length < best_length - 1e-12:
+                    best_length = length
+                    current = candidate
+                    improved = True
+                else:
+                    labels[node] = current
+        if not improved:
+            break
+    return Partition(labels)
+
+
+def louvain_seed_labels(table: EdgeTable, seed: SeedLike) -> np.ndarray:
+    """Louvain labels used to initialize the map-equation search."""
+    from .louvain import louvain
+
+    return louvain(table, seed=seed).labels
+
+
+def compression_gain(table: EdgeTable, partition: Partition) -> float:
+    """Relative codelength saving of ``partition`` vs. no communities.
+
+    The case-study metric: ``1 - L(partition) / L(one community)``.
+    """
+    baseline = map_equation_codelength(
+        table, one_community_partition(table.n_nodes))
+    if baseline <= 0:
+        return 0.0
+    achieved = map_equation_codelength(table, partition)
+    return float(1.0 - achieved / baseline)

@@ -1,0 +1,78 @@
+"""Node partitions (community assignments)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from ..util.validation import as_index_array
+
+
+class Partition:
+    """A dense assignment of nodes to communities ``0 .. k-1``.
+
+    Arbitrary label values are densified on construction, so two
+    partitions that group nodes identically compare equal regardless of
+    the label values used.
+    """
+
+    __slots__ = ("labels",)
+
+    def __init__(self, labels: Iterable[int]):
+        raw = as_index_array(labels, "labels")
+        _, dense = np.unique(raw, return_inverse=True)
+        self.labels = dense.astype(np.int64)
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        # Equal iff they induce the same grouping: check both directions.
+        return self._refines(other) and other._refines(self)
+
+    def __hash__(self):
+        raise TypeError("Partition is not hashable")
+
+    def _refines(self, other: "Partition") -> bool:
+        seen = {}
+        for mine, theirs in zip(self.labels.tolist(),
+                                other.labels.tolist()):
+            if mine in seen and seen[mine] != theirs:
+                return False
+            seen[mine] = theirs
+        return True
+
+    @property
+    def n_communities(self) -> int:
+        """Number of distinct communities."""
+        if len(self.labels) == 0:
+            return 0
+        return int(self.labels.max()) + 1
+
+    def sizes(self) -> np.ndarray:
+        """Community sizes indexed by community id."""
+        return np.bincount(self.labels, minlength=self.n_communities)
+
+    def communities(self) -> List[np.ndarray]:
+        """List of node-index arrays, one per community."""
+        return [np.flatnonzero(self.labels == c)
+                for c in range(self.n_communities)]
+
+    def __repr__(self) -> str:
+        return (f"Partition(n_nodes={len(self)}, "
+                f"n_communities={self.n_communities})")
+
+
+def singleton_partition(n_nodes: int) -> Partition:
+    """Every node in its own community."""
+    return Partition(np.arange(n_nodes))
+
+
+def one_community_partition(n_nodes: int) -> Partition:
+    """All nodes in a single community."""
+    return Partition(np.zeros(n_nodes, dtype=np.int64))

@@ -1,0 +1,46 @@
+"""The paper's contribution: the Noise-Corrected backbone."""
+
+from .confidence import (EdgeComparison, compare_edges,
+                         confidence_intervals)
+from .lift import (edge_marginals, expected_weights, kappa,
+                   kappa_derivative, lift, transform_lift_values,
+                   transformed_lift)
+from .noise_corrected import (NoiseCorrectedBackbone,
+                              NoiseCorrectedPValue, NoiseCorrectedScores)
+from .multilayer import (MultilayerNetwork, MultilayerScores,
+                         multilayer_noise_corrected)
+from .pooling import (EdgeChange, PooledScores, pool_years,
+                      significant_changes)
+from .posterior import (PosteriorResult, plug_in_probability,
+                        posterior_probability)
+from .variance import (edge_weight_variance, transformed_lift_sdev,
+                       transformed_lift_variance)
+
+__all__ = [
+    "EdgeChange",
+    "EdgeComparison",
+    "MultilayerNetwork",
+    "MultilayerScores",
+    "multilayer_noise_corrected",
+    "NoiseCorrectedBackbone",
+    "NoiseCorrectedPValue",
+    "NoiseCorrectedScores",
+    "PooledScores",
+    "PosteriorResult",
+    "pool_years",
+    "significant_changes",
+    "compare_edges",
+    "confidence_intervals",
+    "edge_marginals",
+    "edge_weight_variance",
+    "expected_weights",
+    "kappa",
+    "kappa_derivative",
+    "lift",
+    "plug_in_probability",
+    "posterior_probability",
+    "transform_lift_values",
+    "transformed_lift",
+    "transformed_lift_sdev",
+    "transformed_lift_variance",
+]

@@ -1,0 +1,73 @@
+"""Confidence intervals and edge-comparison tests on NC scores.
+
+The paper (Section I) highlights that, beyond pruning, the NC framework's
+per-edge standard deviations "can also be used more generally, for
+instance to determine whether two edges differ significantly from one
+another in strength". This module provides exactly that API, which the
+p-value variant (footnote 2) cannot offer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..stats.distributions import normal_quantile, normal_sf
+from ..util.validation import require
+from .noise_corrected import NoiseCorrectedScores
+
+
+@dataclass(frozen=True)
+class EdgeComparison:
+    """Result of testing whether two edges differ in strength."""
+
+    difference: float
+    standard_error: float
+    z_statistic: float
+    p_value: float
+
+    def significant(self, level: float = 0.05) -> bool:
+        """Two-sided significance at the given level."""
+        return bool(self.p_value < level)
+
+
+def confidence_intervals(scores: NoiseCorrectedScores,
+                         level: float = 0.95
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+    """Normal-approximation CIs for every edge's transformed lift.
+
+    Returns ``(lower, upper)`` arrays at the requested two-sided
+    confidence ``level``.
+    """
+    require(0.0 < level < 1.0, f"level must be in (0, 1), got {level}")
+    require(scores.sdev is not None, "scores must carry standard deviations")
+    z = float(normal_quantile(0.5 + level / 2.0))
+    margin = z * scores.sdev
+    return scores.score - margin, scores.score + margin
+
+
+def compare_edges(scores: NoiseCorrectedScores, first: int,
+                  second: int) -> EdgeComparison:
+    """Test whether edges ``first`` and ``second`` differ significantly.
+
+    Treats the two transformed lifts as independent normals with the
+    estimated standard deviations; the z-statistic is their difference
+    over the pooled standard error.
+    """
+    require(scores.sdev is not None, "scores must carry standard deviations")
+    m = scores.m
+    for index in (first, second):
+        require(0 <= index < m, f"edge index {index} out of range [0, {m})")
+    difference = float(scores.score[first] - scores.score[second])
+    standard_error = float(np.sqrt(scores.sdev[first] ** 2
+                                   + scores.sdev[second] ** 2))
+    if standard_error == 0.0:
+        z = np.inf if difference != 0 else 0.0
+    else:
+        z = difference / standard_error
+    p_value = float(2.0 * normal_sf(abs(z)))
+    return EdgeComparison(difference=difference,
+                          standard_error=standard_error,
+                          z_statistic=float(z), p_value=min(p_value, 1.0))

@@ -1,0 +1,97 @@
+"""Bundled example datasets (mirroring the paper's data release).
+
+The paper releases some of its country networks "to ensure result
+reproducibility" while the full dataset stays proprietary. Equivalent
+here: seeded synthetic datasets with stable, documented content, plus an
+exporter that writes them as the same ``src,dst,weight`` CSVs the paper
+ships. Loading never touches the filesystem — datasets regenerate from
+fixed seeds — so results are bit-reproducible on any machine.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List
+
+from .generators.occupations import (OccupationStudy,
+                                     generate_occupation_study)
+from .generators.world import SyntheticWorld
+from .graph.edge_table import EdgeTable
+from .graph.io import write_edge_csv
+
+#: The world every bundled country network comes from.
+_RELEASE_SEED = 2017          # the paper's publication year
+_RELEASE_COUNTRIES = 96
+_RELEASE_YEARS = 3
+
+
+def release_world() -> SyntheticWorld:
+    """The fixed world behind the bundled country networks."""
+    return SyntheticWorld(n_countries=_RELEASE_COUNTRIES,
+                          n_years=_RELEASE_YEARS, seed=_RELEASE_SEED)
+
+
+def load_country_network(name: str, year: int = 0) -> EdgeTable:
+    """One bundled country network snapshot (e.g. ``"trade"``, year 0)."""
+    return release_world().network(name, year)
+
+
+def load_country_years(name: str) -> List[EdgeTable]:
+    """All yearly snapshots of one bundled country network."""
+    return release_world().years(name)
+
+
+def load_occupation_study() -> OccupationStudy:
+    """The bundled occupation/skill case-study dataset."""
+    return generate_occupation_study(n_occupations=220, n_skills=150,
+                                     n_major_groups=8,
+                                     seed=_RELEASE_SEED)
+
+
+def dataset_catalog() -> Dict[str, str]:
+    """Names and one-line descriptions of every bundled dataset."""
+    catalog = {}
+    world = release_world()
+    for name in world.network_names():
+        spec = world.spec(name)
+        catalog[name] = (f"{spec.kind} network, "
+                         f"{'directed' if spec.directed else 'undirected'}, "
+                         f"{_RELEASE_YEARS} yearly snapshots, "
+                         f"{_RELEASE_COUNTRIES} countries")
+    catalog["occupations"] = ("skill co-occurrence network + labor flow "
+                              "matrix, 220 occupations")
+    return catalog
+
+
+def export_all(directory) -> List[Path]:
+    """Write every bundled dataset as CSV files under ``directory``.
+
+    Country networks are written one file per year
+    (``<name>_year<k>.csv``); the occupation study as the co-occurrence
+    edge list plus a dense flow matrix CSV. Returns the written paths.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    world = release_world()
+    for name in world.network_names():
+        for year in range(_RELEASE_YEARS):
+            path = directory / f"{name}_year{year}.csv"
+            write_edge_csv(world.network(name, year), path)
+            written.append(path)
+    study = load_occupation_study()
+    cooccurrence_path = directory / "occupations_cooccurrence.csv"
+    write_edge_csv(study.cooccurrence, cooccurrence_path)
+    written.append(cooccurrence_path)
+    flows_path = directory / "occupations_flows.csv"
+    with flows_path.open("w") as handle:
+        handle.write("origin,destination,switchers\n")
+        n = study.n_occupations
+        for origin in range(n):
+            for destination in range(n):
+                count = study.flows[origin, destination]
+                if count > 0:
+                    handle.write(f"{origin},{destination},"
+                                 f"{int(count)}\n")
+    written.append(flows_path)
+    return written

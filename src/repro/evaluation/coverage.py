@@ -1,0 +1,23 @@
+"""Coverage: the paper's Topology criterion (Section V-D).
+
+``Coverage = (|V| - |I_bb|) / (|V| - |I_orig|)`` — the share of the
+original network's non-isolated nodes that the backbone keeps connected.
+Every node a backbone drops is a node network analysis can say nothing
+about, so higher is better and 1.0 is perfect.
+"""
+
+from __future__ import annotations
+
+from ..graph.edge_table import EdgeTable
+from ..util.validation import require
+
+
+def coverage(original: EdgeTable, backbone: EdgeTable) -> float:
+    """Fraction of the original's non-isolated nodes kept non-isolated."""
+    require(original.n_nodes == backbone.n_nodes,
+            "backbone and original must share the node universe")
+    base = original.non_isolated_count()
+    if base == 0:
+        return 1.0
+    kept_nodes = backbone.non_isolated_count()
+    return kept_nodes / base

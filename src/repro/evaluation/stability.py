@@ -1,0 +1,52 @@
+"""Stability: year-on-year persistence (paper Section V-F, Fig. 8).
+
+The underlying phenomena change slowly, so wild weight fluctuations on
+backbone edges signal imprecise measurement. Stability is the Spearman
+correlation between an edge's weights at ``t`` and ``t+1``, computed over
+the edges the backbone keeps (a pair absent in a year counts as weight
+zero).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..graph.edge_table import EdgeTable
+from ..stats.correlation import spearman
+from ..util.validation import require
+
+
+def weights_for_pairs(table: EdgeTable, src: np.ndarray,
+                      dst: np.ndarray) -> np.ndarray:
+    """Weights of the given pairs in ``table`` (0 for absent pairs)."""
+    dense = table.to_dense()
+    return dense[src, dst]
+
+
+def stability_spearman(year_t: EdgeTable, year_next: EdgeTable,
+                       backbone: EdgeTable) -> float:
+    """Spearman correlation of backbone-edge weights across two years."""
+    require(year_t.n_nodes == year_next.n_nodes == backbone.n_nodes,
+            "tables must share the node universe")
+    if backbone.m < 3:
+        return float("nan")
+    src, dst = backbone.src, backbone.dst
+    first = weights_for_pairs(year_t, src, dst)
+    second = weights_for_pairs(year_next, src, dst)
+    return spearman(first, second)
+
+
+def average_stability(years: Sequence[EdgeTable],
+                      backbone: EdgeTable) -> float:
+    """Mean Spearman stability over consecutive year pairs."""
+    require(len(years) >= 2, "need at least two yearly snapshots")
+    values: List[float] = []
+    for year_t, year_next in zip(years, years[1:]):
+        value = stability_spearman(year_t, year_next, backbone)
+        if np.isfinite(value):
+            values.append(value)
+    if not values:
+        return float("nan")
+    return float(np.mean(values))

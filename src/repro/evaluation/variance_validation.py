@@ -1,0 +1,50 @@
+"""Validation of the NC variance model (paper Section V-C, Table I).
+
+The NC backbone's central estimate is ``V[L̃_ij]``, the variance of each
+edge's transformed weight. With several yearly snapshots of the same
+network we can confront that prediction with reality: compute each
+edge's *observed* variance of ``L̃_ij`` across years and correlate it
+with the prediction from a reference year. Table I reports that Pearson
+correlation per network.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.lift import transformed_lift_matrix
+from ..core.variance import transformed_lift_variance
+from ..graph.edge_table import EdgeTable
+from ..stats.correlation import CorrelationResult, pearson_test
+from ..util.validation import require
+
+
+def predicted_vs_observed_variance(years: Sequence[EdgeTable],
+                                   reference: int = 0
+                                   ) -> CorrelationResult:
+    """Correlate predicted score variance with the cross-year variance.
+
+    Parameters
+    ----------
+    years:
+        Yearly snapshots of one network (two or more).
+    reference:
+        Index of the snapshot whose edges define the comparison set and
+        whose marginals produce the predictions.
+    """
+    require(len(years) >= 2, "need at least two yearly snapshots")
+    require(0 <= reference < len(years), "reference year out of range")
+    base = years[reference].without_self_loops()
+    require(base.m >= 3, "reference year has too few edges")
+
+    predicted = transformed_lift_variance(base)
+
+    score_stack = np.stack([transformed_lift_matrix(year)
+                            for year in years])
+    per_pair_variance = score_stack.var(axis=0, ddof=1)
+    observed = per_pair_variance[base.src, base.dst]
+
+    keep = np.isfinite(observed) & np.isfinite(predicted)
+    return pearson_test(predicted[keep], observed[keep])

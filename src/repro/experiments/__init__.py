@@ -1,0 +1,42 @@
+"""Experiment modules, one per table/figure of the paper.
+
+===============  ===================================================
+Module           Paper artifact
+===============  ===================================================
+fig1_example     Fig. 1 — hairball -> backbone -> communities
+fig2_threshold   Fig. 2 — delta threshold distributions
+fig3_toy         Fig. 3 — toy hub: NC vs DF
+fig4_synthetic   Fig. 4 — recovery vs noise on BA networks
+fig5_weights     Fig. 5 — edge weight CCDFs
+fig6_local_...   Fig. 6 — local weight correlations
+table1_variance  Table I — variance model validation
+fig7_topology    Fig. 7 — coverage sweeps
+fig8_stability   Fig. 8 — stability sweeps
+table2_quality   Table II — OLS quality ratios
+fig9_scalability Fig. 9 — running time scaling
+case_study       Section VI — occupations and labor flows
+runner           run everything, render the full report
+===============  ===================================================
+"""
+
+from . import (case_study, fig1_example, fig2_threshold, fig3_toy,
+               fig4_synthetic, fig5_weights, fig6_local_correlation,
+               fig7_topology, fig8_stability, fig9_scalability, report,
+               runner, table1_variance, table2_quality)
+
+__all__ = [
+    "case_study",
+    "fig1_example",
+    "fig2_threshold",
+    "fig3_toy",
+    "fig4_synthetic",
+    "fig5_weights",
+    "fig6_local_correlation",
+    "fig7_topology",
+    "fig8_stability",
+    "fig9_scalability",
+    "report",
+    "runner",
+    "table1_variance",
+    "table2_quality",
+]

@@ -1,0 +1,71 @@
+"""Fig. 1: backboning turns a hairball into recoverable communities.
+
+The paper's opening example: a ~150-node network where nearly every pair
+is connected; "the density of connections leads the community discovery
+algorithm to classify all nodes into the same giant community", while on
+the NC backbone the ground-truth classes re-emerge. Label propagation is
+the community algorithm here — on the raw hairball it collapses exactly
+as the paper describes, and on the backbone it recovers the planted
+labels. We quantify with NMI before and after backboning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..community.label_propagation import label_propagation
+from ..community.nmi import normalized_mutual_information
+from ..community.partition import Partition
+from ..core.noise_corrected import NoiseCorrectedBackbone
+from ..generators.planted import planted_partition
+from .report import comparison_table
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """Community recovery before and after NC backboning."""
+
+    n_nodes: int
+    edges_raw: int
+    edges_backbone: int
+    communities_raw: int
+    communities_backbone: int
+    nmi_raw: float
+    nmi_backbone: float
+
+
+def run(n_nodes: int = 151, n_communities: int = 5, delta: float = 2.32,
+        seed: int = 0) -> Fig1Result:
+    """Regenerate the Fig. 1 demonstration."""
+    planted = planted_partition(n_nodes=n_nodes,
+                                n_communities=n_communities, seed=seed)
+    truth = Partition(planted.labels)
+    raw_partition = label_propagation(planted.table, seed=seed)
+
+    backbone = NoiseCorrectedBackbone(delta=delta).extract(planted.table)
+    backbone_partition = label_propagation(backbone, seed=seed)
+
+    return Fig1Result(
+        n_nodes=n_nodes,
+        edges_raw=planted.table.m,
+        edges_backbone=backbone.m,
+        communities_raw=raw_partition.n_communities,
+        communities_backbone=backbone_partition.n_communities,
+        nmi_raw=normalized_mutual_information(raw_partition, truth),
+        nmi_backbone=normalized_mutual_information(backbone_partition,
+                                                   truth),
+    )
+
+
+def format_result(result: Fig1Result) -> str:
+    """Render the before/after comparison."""
+    rows = [
+        ["raw hairball", result.edges_raw, result.communities_raw,
+         result.nmi_raw],
+        ["NC backbone", result.edges_backbone,
+         result.communities_backbone, result.nmi_backbone],
+    ]
+    title = (f"Fig. 1 — community recovery on a planted partition "
+             f"(n={result.n_nodes}; NMI vs ground truth)")
+    return comparison_table(title, rows,
+                            ["network", "edges", "communities", "NMI"])

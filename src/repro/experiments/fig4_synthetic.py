@@ -1,0 +1,85 @@
+"""Fig. 4: recovery of a planted BA backbone under rising noise.
+
+Barabási–Albert networks (200 nodes, average degree 3) are buried in the
+paper's noise model for ``η`` from 0 to 0.3; every method extracts a
+backbone of exactly the planted size and is scored by Jaccard recovery.
+
+Expected shape (paper Fig. 4): NT and DF excel at very low noise; NC is
+the most resilient as noise grows and the best overall; MST/DS/HSS trail
+throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..backbones.base import BackboneMethod
+from ..backbones.registry import paper_methods
+from ..evaluation.recovery import recovery_by_method
+from ..generators.barabasi_albert import barabasi_albert
+from ..generators.noise import add_noise
+from ..generators.seeds import spawn_rngs
+from .report import series_table
+
+DEFAULT_ETAS = (0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30)
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """Recovery series per method across noise levels."""
+
+    etas: List[float]
+    series: Dict[str, List[float]]
+    n_nodes: int
+    repetitions: int
+
+    def best_at_high_noise(self) -> str:
+        """Method with the best mean recovery over the top half of etas."""
+        half = len(self.etas) // 2
+        means = {code: float(np.nanmean(values[half:]))
+                 for code, values in self.series.items()}
+        return max(means, key=lambda code: means[code])
+
+
+def run(n_nodes: int = 200, average_degree: float = 3.0,
+        etas: Sequence[float] = DEFAULT_ETAS, repetitions: int = 3,
+        seed: int = 0,
+        methods: Optional[Sequence[BackboneMethod]] = None) -> Fig4Result:
+    """Regenerate the Fig. 4 series."""
+    if methods is None:
+        methods = paper_methods()
+    accumulator: Dict[str, List[List[float]]] = \
+        {method.code: [[] for _ in etas] for method in methods}
+    rngs = spawn_rngs(seed, repetitions)
+    for repetition, rng in enumerate(rngs):
+        topology_seed = int(rng.integers(2 ** 31))
+        noise_seed = int(rng.integers(2 ** 31))
+        truth = barabasi_albert(n_nodes, average_degree / 2.0,
+                                seed=topology_seed)
+        for eta_index, eta in enumerate(etas):
+            noisy = add_noise(truth, eta, seed=noise_seed + eta_index)
+            scores = recovery_by_method(noisy, methods)
+            for code, value in scores.items():
+                accumulator[code][eta_index].append(value)
+    series = {code: [_nanmean(values) for values in columns]
+              for code, columns in accumulator.items()}
+    return Fig4Result(etas=list(etas), series=series, n_nodes=n_nodes,
+                      repetitions=repetitions)
+
+
+def _nanmean(values: List[float]) -> float:
+    finite = [value for value in values if value == value]
+    if not finite:
+        return float("nan")
+    return float(np.mean(finite))
+
+
+def format_result(result: Fig4Result) -> str:
+    """Render the recovery series as the paper's figure data."""
+    title = (f"Fig. 4 — backbone recovery vs noise "
+             f"(BA n={result.n_nodes}, {result.repetitions} reps; "
+             f"Jaccard with planted edges)")
+    return series_table(title, "eta", result.etas, result.series)

@@ -1,0 +1,53 @@
+"""Fig. 6: edge weights correlate with their neighborhoods.
+
+For every edge the paper plots its weight against the average weight of
+adjacent edges and reports the log-log Pearson correlation — between
+0.42 (Flight) and 0.75 (Country Space) on the real data. This local
+correlation is the reason naive global thresholds fail, motivating the
+statistical backbones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..generators.world import NETWORK_NAMES, SyntheticWorld
+from ..graph.metrics import neighbor_weight_profile
+from ..stats.correlation import log_log_pearson
+from .report import PAPER_FIG6_RANGE, comparison_table
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """Log-log local weight correlation per network."""
+
+    correlations: Dict[str, float]
+
+    def all_positive(self) -> bool:
+        """The figure's core claim: correlations are all clearly positive."""
+        return all(value > 0.2 for value in self.correlations.values())
+
+
+def run(world: Optional[SyntheticWorld] = None,
+        year: int = 0) -> Fig6Result:
+    """Compute the Fig. 6 correlations."""
+    if world is None:
+        world = SyntheticWorld(seed=0)
+    correlations = {}
+    for name in NETWORK_NAMES:
+        profile = neighbor_weight_profile(world.network(name, year))
+        correlations[name] = log_log_pearson(profile["weight"],
+                                             profile["neighbor_avg"])
+    return Fig6Result(correlations=correlations)
+
+
+def format_result(result: Fig6Result) -> str:
+    """Render correlations with the paper's quoted range."""
+    low, high = PAPER_FIG6_RANGE
+    rows = [[name, value, f"{low}..{high}"]
+            for name, value in result.correlations.items()]
+    title = ("Fig. 6 — log-log correlation of edge weight with average "
+             "neighbor edge weight")
+    return comparison_table(title, rows,
+                            ["network", "ours", "paper range"])

@@ -1,0 +1,83 @@
+"""Shared rendering and paper reference values for experiment output.
+
+Every experiment module renders its result as ASCII rows mirroring the
+paper's tables/figure series, with the paper's own numbers alongside
+where the paper states them. Absolute agreement is not expected — the
+substrate is synthetic — but orderings and magnitudes should correspond.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from ..util.tables import format_series, format_table
+
+#: Paper Table I: correlation between predicted and observed variance.
+PAPER_TABLE1 = {
+    "business": 0.590,
+    "country_space": 0.627,
+    "flight": 0.613,
+    "migration": 0.064,
+    "ownership": 0.872,
+    "trade": 0.162,
+}
+
+#: Paper Table II: quality ratios per method and network.
+PAPER_TABLE2 = {
+    "business": {"DS": None, "NT": 0.7766, "DF": 0.9315, "HSS": 1.1341,
+                 "MST": 1.1183, "NC": 1.1767},
+    "country_space": {"DS": 2.0975, "NT": 0.6834, "DF": 1.4082,
+                      "HSS": 1.6549, "MST": 1.9180, "NC": 2.2437},
+    "flight": {"DS": None, "NT": 0.5196, "DF": 0.8569, "HSS": 0.9447,
+               "MST": 0.7981, "NC": 1.4676},
+    "migration": {"DS": 1.5153, "NT": 1.1616, "DF": 2.0715, "HSS": 1.2597,
+                  "MST": 1.0036, "NC": 2.1493},
+    "ownership": {"DS": None, "NT": 1.2384, "DF": 0.5374, "HSS": 0.9744,
+                  "MST": 0.9288, "NC": 1.4165},
+    "trade": {"DS": 0.9287, "NT": 0.3935, "DF": 0.9024, "HSS": 0.8662,
+              "MST": 0.9532, "NC": 1.1037},
+}
+
+#: Paper case-study numbers (Section VI).
+PAPER_CASE_STUDY = {
+    "flow_correlation_full": 0.390,
+    "flow_correlation_df": 0.431,
+    "flow_correlation_nc": 0.454,
+    "infomap_compression_nc": 0.150,
+    "infomap_compression_df": 0.093,
+    "modularity_two_digit_nc": 0.192,
+    "modularity_two_digit_df": 0.115,
+    "nmi_two_digit_nc": 0.423,
+    "nmi_two_digit_df": 0.401,
+}
+
+#: Paper Fig. 6: the quoted local-correlation extremes.
+PAPER_FIG6_RANGE = (0.42, 0.75)
+
+#: Paper Fig. 9: empirical scaling exponent of the NC implementation.
+PAPER_FIG9_EXPONENT = 1.14
+
+
+def comparison_table(title: str, rows: Iterable[Sequence],
+                     headers: Sequence[str]) -> str:
+    """Uniform experiment rendering."""
+    return format_table(headers, rows, title=title)
+
+
+def series_table(title: str, x_label: str, x_values: Sequence[float],
+                 series: Mapping[str, Sequence[float]],
+                 precision: int = 4) -> str:
+    """Uniform figure-series rendering."""
+    return format_series(series, x_label, x_values, title=title,
+                         precision=precision)
+
+
+def mark_best(values: Dict[str, Optional[float]]) -> str:
+    """Code of the best (largest, non-None) entry, or '-'."""
+    best_code = "-"
+    best_value = float("-inf")
+    for code, value in values.items():
+        if value is not None and value == value and value > best_value:
+            best_value = value
+            best_code = code
+    return best_code

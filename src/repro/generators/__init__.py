@@ -1,0 +1,33 @@
+"""Synthetic data generators: random graphs, noise models, the gravity
+world and the occupation case-study substrate."""
+
+from .barabasi_albert import barabasi_albert
+from .erdos_renyi import (average_degree_edges, erdos_renyi_gnm,
+                          erdos_renyi_gnp)
+from .noise import NoisyNetwork, add_noise
+from .occupations import OccupationStudy, generate_occupation_study
+from .planted import PlantedPartition, planted_partition
+from .seeds import make_rng, spawn_rngs
+from .world import (NETWORK_NAMES, NETWORK_SPECS, CountryCovariates,
+                    NetworkSpec, SyntheticWorld, haversine_matrix)
+
+__all__ = [
+    "CountryCovariates",
+    "NETWORK_NAMES",
+    "NETWORK_SPECS",
+    "NetworkSpec",
+    "NoisyNetwork",
+    "OccupationStudy",
+    "PlantedPartition",
+    "SyntheticWorld",
+    "add_noise",
+    "average_degree_edges",
+    "barabasi_albert",
+    "erdos_renyi_gnm",
+    "erdos_renyi_gnp",
+    "generate_occupation_study",
+    "haversine_matrix",
+    "make_rng",
+    "planted_partition",
+    "spawn_rngs",
+]

@@ -1,0 +1,94 @@
+"""Erdős–Rényi random graphs with uniform random weights.
+
+The paper's scalability experiment (Fig. 9) times the backbone methods on
+ER graphs "with uniform random weights" and "average degree of a node set
+to three" at growing sizes; :func:`erdos_renyi_gnm` is the exact workload
+generator for that benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..graph.edge_table import EdgeTable
+from ..util.validation import require
+from .seeds import SeedLike, make_rng
+
+
+def erdos_renyi_gnm(n_nodes: int, n_edges: int, seed: SeedLike = None,
+                    directed: bool = False,
+                    weight_range: Tuple[float, float] = (1.0, 100.0)
+                    ) -> EdgeTable:
+    """Sample a G(n, m) graph with ``n_edges`` distinct (non-loop) edges.
+
+    Weights are drawn uniformly from ``weight_range``. Sampling uses
+    rejection on edge keys, which is fast while ``n_edges`` is well below
+    the number of possible pairs (the sparse regime of Fig. 9).
+    """
+    require(n_nodes >= 2, f"need at least two nodes, got {n_nodes}")
+    possible = n_nodes * (n_nodes - 1)
+    if not directed:
+        possible //= 2
+    require(0 <= n_edges <= possible,
+            f"n_edges={n_edges} out of range [0, {possible}]")
+    rng = make_rng(seed)
+    chosen: np.ndarray = np.empty(0, dtype=np.int64)
+    need = n_edges
+    keys = set()
+    src_list = []
+    dst_list = []
+    while need > 0:
+        batch = max(need * 2, 16)
+        u = rng.integers(0, n_nodes, batch)
+        v = rng.integers(0, n_nodes, batch)
+        for a, b in zip(u.tolist(), v.tolist()):
+            if a == b or need == 0:
+                continue
+            if not directed and a > b:
+                a, b = b, a
+            key = a * n_nodes + b
+            if key in keys:
+                continue
+            keys.add(key)
+            src_list.append(a)
+            dst_list.append(b)
+            need -= 1
+    low, high = weight_range
+    require(low <= high, "weight_range must be (low, high)")
+    weight = rng.uniform(low, high, n_edges)
+    return EdgeTable(src_list, dst_list, weight, n_nodes=n_nodes,
+                     directed=directed, coalesce=False)
+
+
+def erdos_renyi_gnp(n_nodes: int, p: float, seed: SeedLike = None,
+                    directed: bool = False,
+                    weight_range: Tuple[float, float] = (1.0, 100.0)
+                    ) -> EdgeTable:
+    """Sample a G(n, p) graph (each pair independently with prob ``p``)."""
+    require(n_nodes >= 2, f"need at least two nodes, got {n_nodes}")
+    require(0.0 <= p <= 1.0, f"p must be in [0, 1], got {p}")
+    rng = make_rng(seed)
+    if directed:
+        src, dst = np.nonzero(~np.eye(n_nodes, dtype=bool))
+    else:
+        src, dst = np.triu_indices(n_nodes, k=1)
+    keep = rng.uniform(size=len(src)) < p
+    src, dst = src[keep], dst[keep]
+    low, high = weight_range
+    weight = rng.uniform(low, high, len(src))
+    return EdgeTable(src, dst, weight, n_nodes=n_nodes, directed=directed,
+                     coalesce=False)
+
+
+def average_degree_edges(n_nodes: int, average_degree: float,
+                         directed: bool = False) -> int:
+    """Edge count giving the requested average degree.
+
+    For undirected graphs average degree ``d`` needs ``n * d / 2`` edges;
+    directed graphs count both in- and out-degree, so the same formula
+    applies to total degree.
+    """
+    require(average_degree >= 0, "average_degree must be non-negative")
+    return int(round(n_nodes * average_degree / 2.0))

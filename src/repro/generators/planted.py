@@ -1,0 +1,63 @@
+"""Planted-partition networks buried in noise (paper Fig. 1).
+
+The paper's opening example is a ~150-node network where "virtually every
+possible connection is expressed in the data" yet a latent community
+structure exists; after backboning, community discovery recovers the
+ground-truth classes. This generator reproduces that setting with
+count-valued weights: within-community pairs interact at a higher Poisson
+rate than cross-community pairs, and every pair receives a baseline noise
+rate so the raw network is an almost-complete hairball.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.edge_table import EdgeTable
+from ..util.validation import require
+from .seeds import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class PlantedPartition:
+    """A noisy network with ground-truth community labels."""
+
+    table: EdgeTable
+    labels: np.ndarray
+
+    @property
+    def n_communities(self) -> int:
+        return int(self.labels.max()) + 1
+
+
+def planted_partition(n_nodes: int = 151, n_communities: int = 5,
+                      within_rate: float = 10.0, between_rate: float = 2.0,
+                      noise_rate: float = 6.0,
+                      seed: SeedLike = None) -> PlantedPartition:
+    """Sample a planted-partition count network.
+
+    Every unordered pair receives ``Poisson(noise_rate)`` background
+    interactions plus ``Poisson(within_rate)`` (same community) or
+    ``Poisson(between_rate)`` (different community) structural ones.
+    With the defaults nearly every pair has positive weight, matching
+    the paper's "every possible connection is expressed" setup.
+    """
+    require(n_nodes >= 2, "need at least two nodes")
+    require(1 <= n_communities <= n_nodes,
+            "n_communities must be in [1, n_nodes]")
+    for name, value in (("within_rate", within_rate),
+                        ("between_rate", between_rate),
+                        ("noise_rate", noise_rate)):
+        require(value >= 0, f"{name} must be non-negative")
+    rng = make_rng(seed)
+    labels = rng.integers(0, n_communities, n_nodes)
+    src, dst = np.triu_indices(n_nodes, k=1)
+    same = labels[src] == labels[dst]
+    rate = np.where(same, within_rate, between_rate) + noise_rate
+    weight = rng.poisson(rate).astype(np.float64)
+    keep = weight > 0
+    table = EdgeTable(src[keep], dst[keep], weight[keep], n_nodes=n_nodes,
+                      directed=False, coalesce=False)
+    return PlantedPartition(table=table, labels=labels)

@@ -1,0 +1,36 @@
+"""Deterministic random-number plumbing.
+
+Every generator takes either an integer seed or an existing
+``numpy.random.Generator``; experiments pass integers so that entire
+pipelines are reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a ``Generator`` from an int seed, a generator, or fresh."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` independent generators from one seed.
+
+    Uses ``SeedSequence.spawn`` so the streams are statistically
+    independent regardless of how many draws each consumer makes.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        sequence = seed.bit_generator.seed_seq
+    else:
+        sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]

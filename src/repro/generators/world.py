@@ -1,0 +1,336 @@
+"""Synthetic country-network world (substitute for the paper's data).
+
+The paper evaluates on six proprietary country-country networks
+(Business, Country Space, Flight, Migration, Ownership, Trade), each
+observed in several years. None of those datasets can be redistributed,
+so this module builds a *gravity-model world* that reproduces the
+statistical properties the experiments rely on:
+
+* count-valued edge weights with broad, locally correlated distributions
+  (paper Figs. 5 and 6);
+* directed flows, directed stocks and an undirected co-occurrence
+  network;
+* repeated yearly snapshots of a *fixed latent truth* observed through
+  sampling noise — the premise of the variance validation (Table I) and
+  the stability criterion (Fig. 8);
+* latent intensities genuinely driven by observable covariates
+  (distance, population, language, trade, FDI, economic complexity), so
+  backbones that suppress noise improve the OLS fits of Table II.
+
+Every world is fully determined by its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..graph.edge_table import EdgeTable
+from ..util.validation import require
+from .seeds import SeedLike, spawn_rngs
+
+#: Earth radius used by the haversine distance (km).
+_EARTH_RADIUS_KM = 6371.0
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Static description of one of the six network types."""
+
+    name: str
+    directed: bool
+    kind: str  # "flow", "stock" or "cooccurrence"
+    overdispersion: float  # gamma mixing variance of yearly sampling
+
+
+NETWORK_SPECS: Dict[str, NetworkSpec] = {
+    "business": NetworkSpec("business", True, "flow", 0.08),
+    "country_space": NetworkSpec("country_space", False, "cooccurrence",
+                                 0.0),
+    "flight": NetworkSpec("flight", True, "flow", 0.05),
+    "migration": NetworkSpec("migration", True, "stock", 0.03),
+    "ownership": NetworkSpec("ownership", True, "stock", 0.04),
+    "trade": NetworkSpec("trade", True, "flow", 0.10),
+}
+
+#: Paper ordering for tables and figures.
+NETWORK_NAMES: Tuple[str, ...] = ("business", "country_space", "flight",
+                                  "migration", "ownership", "trade")
+
+
+@dataclass
+class CountryCovariates:
+    """Observable country and pair attributes the regressions use."""
+
+    labels: Tuple[str, ...]
+    population: np.ndarray
+    gdp_per_capita: np.ndarray
+    eci: np.ndarray
+    latitude: np.ndarray
+    longitude: np.ndarray
+    distance_km: np.ndarray
+    common_language: np.ndarray
+    shared_history: np.ndarray
+    fdi: np.ndarray = field(default=None)
+
+    @property
+    def gdp(self) -> np.ndarray:
+        """Total GDP = population x GDP per capita."""
+        return self.population * self.gdp_per_capita
+
+    @property
+    def n_countries(self) -> int:
+        return len(self.population)
+
+
+def haversine_matrix(latitude: np.ndarray,
+                     longitude: np.ndarray) -> np.ndarray:
+    """Great-circle distances (km) between all coordinate pairs."""
+    lat = np.radians(np.asarray(latitude, dtype=np.float64))
+    lon = np.radians(np.asarray(longitude, dtype=np.float64))
+    dlat = lat[:, None] - lat[None, :]
+    dlon = lon[:, None] - lon[None, :]
+    a = (np.sin(dlat / 2.0) ** 2
+         + np.cos(lat)[:, None] * np.cos(lat)[None, :]
+         * np.sin(dlon / 2.0) ** 2)
+    return 2.0 * _EARTH_RADIUS_KM * np.arcsin(np.sqrt(np.clip(a, 0.0, 1.0)))
+
+
+class SyntheticWorld:
+    """A seeded world emitting the six yearly country networks.
+
+    Parameters
+    ----------
+    n_countries:
+        Number of countries (nodes).
+    n_years:
+        Number of yearly snapshots per network.
+    seed:
+        Master seed; every derived quantity is deterministic in it.
+    n_products:
+        Size of the product space behind the Country Space network.
+    """
+
+    def __init__(self, n_countries: int = 120, n_years: int = 3,
+                 seed: SeedLike = 0, n_products: int = 400):
+        require(n_countries >= 10, "need at least 10 countries")
+        require(n_years >= 1, "need at least one year")
+        require(n_products >= 10, "need at least 10 products")
+        self.n_countries = int(n_countries)
+        self.n_years = int(n_years)
+        self.n_products = int(n_products)
+        (rng_geo, rng_econ, rng_social, rng_latent, rng_products,
+         rng_years) = spawn_rngs(seed, 6)
+        # A per-world salt keeps yearly sampling streams distinct across
+        # worlds while staying deterministic in the master seed.
+        self._world_salt = int(rng_years.integers(2 ** 31))
+        self.covariates = self._build_covariates(rng_geo, rng_econ,
+                                                 rng_social)
+        self._latent: Dict[str, np.ndarray] = {}
+        self._build_latents(rng_latent)
+        self._build_product_space(rng_products)
+        self._year_cache: Dict[Tuple[str, int], EdgeTable] = {}
+        self._year_noise: Dict[Tuple[str, int], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build_covariates(self, rng_geo, rng_econ,
+                          rng_social) -> CountryCovariates:
+        n = self.n_countries
+        labels = tuple(f"C{i:03d}" for i in range(n))
+        latitude = np.degrees(np.arcsin(rng_geo.uniform(-1, 1, n)))
+        longitude = rng_geo.uniform(-180.0, 180.0, n)
+        distance = haversine_matrix(latitude, longitude)
+
+        population = np.exp(rng_econ.normal(16.0, 1.4, n))
+        gdp_per_capita = np.exp(rng_econ.normal(9.0, 1.1, n))
+        # Economic complexity correlates with income (rho ~ 0.7).
+        eci = (0.7 * ((np.log(gdp_per_capita) - 9.0) / 1.1)
+               + 0.3 * rng_econ.normal(size=n))
+
+        # ~12 language groups with skewed sizes.
+        group_weights = rng_social.dirichlet(np.full(12, 0.6))
+        language = rng_social.choice(12, size=n, p=group_weights)
+        common_language = (language[:, None] == language[None, :])
+        np.fill_diagonal(common_language, False)
+        # Colonial/history ties: more likely within a language group.
+        tie_probability = np.where(common_language, 0.25, 0.01)
+        upper = np.triu(rng_social.uniform(size=(n, n)) < tie_probability, 1)
+        shared_history = upper | upper.T
+        return CountryCovariates(
+            labels=labels, population=population,
+            gdp_per_capita=gdp_per_capita, eci=eci, latitude=latitude,
+            longitude=longitude, distance_km=distance,
+            common_language=common_language,
+            shared_history=shared_history)
+
+    def _gravity(self, rng, origin_mass, destination_mass,
+                 distance_elasticity, language_boost=0.0,
+                 history_boost=0.0, pair_sigma=0.8,
+                 symmetric=False) -> np.ndarray:
+        """A generic gravity kernel with persistent pair-level effects."""
+        cov = self.covariates
+        n = self.n_countries
+        log_distance = np.log(cov.distance_km + 50.0)
+        kernel = (np.log(origin_mass)[:, None]
+                  + np.log(destination_mass)[None, :]
+                  - distance_elasticity * log_distance
+                  + language_boost * cov.common_language
+                  + history_boost * cov.shared_history)
+        pair_effect = rng.normal(0.0, pair_sigma, (n, n))
+        if symmetric:
+            pair_effect = (pair_effect + pair_effect.T) / np.sqrt(2.0)
+        kernel = kernel + pair_effect
+        np.fill_diagonal(kernel, -np.inf)
+        intensity = np.exp(kernel - kernel[np.isfinite(kernel)].max())
+        np.fill_diagonal(intensity, 0.0)
+        return intensity
+
+    def _build_latents(self, rng) -> None:
+        cov = self.covariates
+        # Trade: classic gravity on GDP with strong distance decay.
+        trade = self._gravity(rng, cov.gdp ** 0.9, cov.gdp ** 0.8,
+                              distance_elasticity=1.1,
+                              language_boost=0.4, pair_sigma=1.0)
+        self._latent["trade"] = _scale_total(trade, 5e6)
+
+        # Business travel: driven by trade plus origin income.
+        business_kernel = (0.75 * np.log(self._latent["trade"] + 1e-12)
+                           + 0.25 * np.log(cov.gdp_per_capita)[:, None]
+                           + rng.normal(0.0, 0.5,
+                                        (self.n_countries,) * 2))
+        np.fill_diagonal(business_kernel, -np.inf)
+        business = np.exp(business_kernel
+                          - business_kernel[
+                              np.isfinite(business_kernel)].max())
+        np.fill_diagonal(business, 0.0)
+        self._latent["business"] = _scale_total(business, 8e5)
+
+        # Flights: gravity on population, symmetric pair effects.
+        flight = self._gravity(rng, cov.population ** 0.8,
+                               cov.population ** 0.8,
+                               distance_elasticity=0.9,
+                               pair_sigma=0.6, symmetric=True)
+        self._latent["flight"] = _scale_total(flight, 2e6)
+
+        # Migration stocks: population masses, language and history.
+        migration = self._gravity(rng, cov.population ** 0.7,
+                                  cov.population ** 0.9,
+                                  distance_elasticity=0.8,
+                                  language_boost=1.0, history_boost=1.2,
+                                  pair_sigma=0.9)
+        self._latent["migration"] = _scale_total(migration, 1e6)
+
+        # Ownership stocks: origin income dominates, weak distance decay.
+        ownership = self._gravity(rng, cov.gdp ** 1.1,
+                                  cov.gdp ** 0.5,
+                                  distance_elasticity=0.3,
+                                  language_boost=0.3, pair_sigma=1.2)
+        self._latent["ownership"] = _scale_total(ownership, 3e5)
+
+        # Observable FDI tracks latent ownership with reporting noise.
+        fdi = self._latent["ownership"] * np.exp(
+            rng.normal(0.0, 0.4, (self.n_countries,) * 2))
+        np.fill_diagonal(fdi, 0.0)
+        self.covariates.fdi = fdi * 1.0e3
+
+    def _build_product_space(self, rng) -> None:
+        """Latent export propensities for the Country Space network."""
+        complexity = rng.normal(0.0, 1.0, self.n_products)
+        self._product_complexity = complexity
+        affinity = (self.covariates.eci[:, None] - complexity[None, :])
+        noise = rng.normal(0.0, 0.8, (self.n_countries, self.n_products))
+        # Export probability rises with country complexity relative to
+        # product complexity; baseline keeps simple products widespread.
+        self._export_logit = 1.2 * affinity + noise + 0.3
+
+    def _export_matrix(self, year: int) -> np.ndarray:
+        """Boolean RCA matrix for a given year (slowly evolving)."""
+        rng = np.random.default_rng([year, 982451653, self._world_salt])
+        yearly_noise = rng.normal(0.0, 0.35,
+                                  (self.n_countries, self.n_products))
+        return (self._export_logit + yearly_noise) > 0.0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def network_names(self) -> Tuple[str, ...]:
+        """The six network names in paper order."""
+        return NETWORK_NAMES
+
+    def spec(self, name: str) -> NetworkSpec:
+        """Static description of a network type."""
+        self._check_name(name)
+        return NETWORK_SPECS[name]
+
+    def latent_intensity(self, name: str) -> np.ndarray:
+        """The noiseless truth behind a network (dense matrix).
+
+        For Country Space this is the expected co-occurrence count under
+        the export-propensity model.
+        """
+        self._check_name(name)
+        if name == "country_space":
+            probability = 1.0 / (1.0 + np.exp(-self._export_logit / 0.86))
+            expected = probability @ probability.T
+            np.fill_diagonal(expected, 0.0)
+            return expected
+        return self._latent[name]
+
+    def network(self, name: str, year: int = 0) -> EdgeTable:
+        """One yearly snapshot of a network as an edge table."""
+        self._check_name(name)
+        require(0 <= year < self.n_years,
+                f"year {year} out of range [0, {self.n_years})")
+        key = (name, year)
+        if key not in self._year_cache:
+            self._year_cache[key] = self._sample_year(name, year)
+        return self._year_cache[key]
+
+    def years(self, name: str) -> List[EdgeTable]:
+        """All yearly snapshots of a network."""
+        return [self.network(name, year) for year in range(self.n_years)]
+
+    def dense_weights(self, name: str, year: int = 0) -> np.ndarray:
+        """Dense weight matrix of a snapshot (zeros included)."""
+        return self.network(name, year).to_dense()
+
+    def _sample_year(self, name: str, year: int) -> EdgeTable:
+        spec = NETWORK_SPECS[name]
+        rng = np.random.default_rng(
+            [year, NETWORK_NAMES.index(name), self._world_salt])
+        labels = self.covariates.labels
+        if spec.kind == "cooccurrence":
+            exports = self._export_matrix(year)
+            counts = (exports.astype(np.int64)
+                      @ exports.astype(np.int64).T).astype(np.float64)
+            np.fill_diagonal(counts, 0.0)
+            return EdgeTable.from_dense(counts, directed=False,
+                                        labels=labels)
+        intensity = self._latent[name]
+        growth = (1.025 ** year)
+        if spec.overdispersion > 0:
+            shape = 1.0 / spec.overdispersion
+            mixing = rng.gamma(shape, 1.0 / shape, intensity.shape)
+        else:
+            mixing = 1.0
+        lam = intensity * growth * mixing
+        counts = rng.poisson(lam).astype(np.float64)
+        np.fill_diagonal(counts, 0.0)
+        return EdgeTable.from_dense(counts, directed=True, labels=labels)
+
+    def _check_name(self, name: str) -> None:
+        require(name in NETWORK_SPECS,
+                f"unknown network {name!r}; choose from {NETWORK_NAMES}")
+
+
+def _scale_total(intensity: np.ndarray, target_total: float) -> np.ndarray:
+    """Rescale a non-negative matrix to a target grand total."""
+    total = intensity.sum()
+    require(total > 0, "intensity matrix must have positive mass")
+    return intensity * (target_total / total)

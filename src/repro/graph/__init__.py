@@ -1,0 +1,50 @@
+"""Graph substrate: columnar edge tables, adjacency views and algorithms."""
+
+from .components import (component_sizes, connected_components,
+                         giant_component_mask, is_connected)
+from .edge_table import EdgeTable
+from .graph import Graph
+from .io import read_edge_csv, write_edge_csv
+from .metrics import (average_clustering, average_degree,
+                      clustering_coefficient, degree_histogram, density,
+                      jaccard_edge_similarity, neighbor_weight_profile)
+from .paths import all_pairs_distances, bfs_order, dijkstra, shortest_path_tree
+from .subgraph import (Subgraph, giant_component_subgraph,
+                       induced_subgraph, non_isolated_subgraph)
+from .union_find import UnionFind
+from .weighted_metrics import (average_weighted_clustering,
+                               degree_assortativity, reciprocity,
+                               weight_assortativity,
+                               weighted_clustering_coefficient)
+
+__all__ = [
+    "EdgeTable",
+    "Graph",
+    "Subgraph",
+    "UnionFind",
+    "average_weighted_clustering",
+    "degree_assortativity",
+    "giant_component_subgraph",
+    "induced_subgraph",
+    "non_isolated_subgraph",
+    "reciprocity",
+    "weight_assortativity",
+    "weighted_clustering_coefficient",
+    "all_pairs_distances",
+    "average_clustering",
+    "average_degree",
+    "bfs_order",
+    "clustering_coefficient",
+    "component_sizes",
+    "connected_components",
+    "degree_histogram",
+    "density",
+    "dijkstra",
+    "giant_component_mask",
+    "is_connected",
+    "jaccard_edge_similarity",
+    "neighbor_weight_profile",
+    "read_edge_csv",
+    "shortest_path_tree",
+    "write_edge_csv",
+]

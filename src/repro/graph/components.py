@@ -1,0 +1,52 @@
+"""Connected components over edge tables.
+
+Directed tables are treated as weakly connected (edge direction ignored),
+which is the notion the Doubly-Stochastic filter's connectivity sweep and
+the coverage metric need.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .edge_table import EdgeTable
+from .union_find import UnionFind
+
+
+def connected_components(table: EdgeTable) -> Tuple[np.ndarray, int]:
+    """Label nodes by (weak) connected component.
+
+    Returns ``(labels, n_components)`` where ``labels[i]`` is a dense
+    component id for node ``i``. Isolated nodes each form their own
+    component.
+    """
+    ds = UnionFind(table.n_nodes)
+    for u, v in zip(table.src.tolist(), table.dst.tolist()):
+        ds.union(u, v)
+    return ds.component_labels(), ds.n_components
+
+
+def is_connected(table: EdgeTable) -> bool:
+    """Return ``True`` when all nodes lie in one (weak) component."""
+    if table.n_nodes <= 1:
+        return True
+    _, count = connected_components(table)
+    return count == 1
+
+
+def giant_component_mask(table: EdgeTable) -> np.ndarray:
+    """Boolean node mask selecting the largest (weak) component."""
+    labels, count = connected_components(table)
+    if count == 0:
+        return np.zeros(table.n_nodes, dtype=bool)
+    sizes = np.bincount(labels, minlength=count)
+    return labels == int(np.argmax(sizes))
+
+
+def component_sizes(table: EdgeTable) -> np.ndarray:
+    """Sizes of all components, sorted descending."""
+    labels, count = connected_components(table)
+    sizes = np.bincount(labels, minlength=count)
+    return np.sort(sizes)[::-1]

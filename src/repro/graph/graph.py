@@ -1,0 +1,82 @@
+"""Adjacency-structured view of an :class:`~repro.graph.edge_table.EdgeTable`.
+
+Algorithms that walk neighborhoods (Dijkstra, Louvain, Infomap, clustering
+coefficients) need O(1) access to a node's incident edges. ``Graph`` builds a
+CSR-like structure (``indptr`` / ``neighbors`` / ``weights``) once and then
+serves read-only neighbor views.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .edge_table import EdgeTable
+
+
+class Graph:
+    """Immutable CSR adjacency built from an edge table.
+
+    For undirected tables each edge is stored in both endpoints' neighbor
+    lists. For directed tables only outgoing edges are stored; use
+    :meth:`reversed` for incoming adjacency.
+    """
+
+    __slots__ = ("indptr", "neighbors", "weights", "n_nodes", "directed",
+                 "labels")
+
+    def __init__(self, table: EdgeTable):
+        expanded = table.as_directed_doubled() if not table.directed else table
+        n = table.n_nodes
+        order = np.argsort(expanded.src, kind="stable")
+        src_sorted = expanded.src[order]
+        self.neighbors = expanded.dst[order]
+        self.weights = expanded.weight[order]
+        counts = np.bincount(src_sorted, minlength=n)
+        self.indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        self.n_nodes = n
+        self.directed = table.directed
+        self.labels = table.labels
+
+    @property
+    def m(self) -> int:
+        """Number of stored directed arcs."""
+        return len(self.neighbors)
+
+    def neighbors_of(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(neighbor_ids, weights)`` views for ``node``."""
+        start, stop = self.indptr[node], self.indptr[node + 1]
+        return self.neighbors[start:stop], self.weights[start:stop]
+
+    def degree_of(self, node: int) -> int:
+        """Number of stored arcs leaving ``node``."""
+        return int(self.indptr[node + 1] - self.indptr[node])
+
+    def strength_of(self, node: int) -> float:
+        """Sum of weights of arcs leaving ``node``."""
+        start, stop = self.indptr[node], self.indptr[node + 1]
+        return float(self.weights[start:stop].sum())
+
+    def total_weight(self) -> float:
+        """Sum over all stored arcs (undirected edges counted twice)."""
+        return float(self.weights.sum())
+
+    def reversed(self) -> "Graph":
+        """Return the graph with every directed arc flipped.
+
+        Undirected graphs are symmetric already, so a shallow rebuild of
+        the same table is returned.
+        """
+        table = EdgeTable(self.neighbors, self._arc_sources(), self.weights,
+                          n_nodes=self.n_nodes, directed=True,
+                          labels=self.labels, coalesce=False)
+        graph = Graph(table)
+        graph.directed = self.directed
+        return graph
+
+    def _arc_sources(self) -> np.ndarray:
+        sources = np.empty(self.m, dtype=np.int64)
+        for node in range(self.n_nodes):
+            sources[self.indptr[node]:self.indptr[node + 1]] = node
+        return sources

@@ -1,0 +1,125 @@
+"""Shortest paths and shortest-path trees.
+
+The High-Salience Skeleton (paper Section III-B) superposes, over all
+roots, the shortest-path tree computed on *effective proximities*: strong
+edges are short. We follow the HSS convention of using ``1 / weight`` as
+edge length.
+
+The implementation is a binary-heap Dijkstra over the CSR ``Graph`` view.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .edge_table import EdgeTable
+from .graph import Graph
+
+_UNREACHED = -1
+
+
+def dijkstra(graph: Graph, source: int,
+             lengths: Optional[np.ndarray] = None
+             ) -> Tuple[np.ndarray, np.ndarray]:
+    """Single-source shortest paths.
+
+    Parameters
+    ----------
+    graph:
+        CSR adjacency. For undirected tables arcs exist in both
+        directions already.
+    source:
+        Root node index.
+    lengths:
+        Optional per-arc lengths aligned with ``graph.weights``. Defaults
+        to ``1 / weight`` (the HSS effective proximity). Arcs with zero
+        weight are treated as unusable.
+
+    Returns
+    -------
+    (dist, pred):
+        ``dist[v]`` is the shortest distance from ``source`` (``inf`` when
+        unreachable); ``pred[v]`` is the predecessor of ``v`` on a shortest
+        path (``-1`` for the source and unreachable nodes).
+    """
+    if not 0 <= source < graph.n_nodes:
+        raise ValueError(f"source {source} out of range")
+    if lengths is None:
+        with np.errstate(divide="ignore"):
+            lengths = np.where(graph.weights > 0, 1.0 / graph.weights,
+                               np.inf)
+    else:
+        lengths = np.asarray(lengths, dtype=np.float64)
+        if len(lengths) != graph.m:
+            raise ValueError("lengths must have one entry per arc")
+        if lengths.size and lengths.min() < 0:
+            raise ValueError("Dijkstra requires non-negative lengths")
+
+    dist = np.full(graph.n_nodes, np.inf)
+    pred = np.full(graph.n_nodes, _UNREACHED, dtype=np.int64)
+    dist[source] = 0.0
+    done = np.zeros(graph.n_nodes, dtype=bool)
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    indptr, nbrs = graph.indptr, graph.neighbors
+    while heap:
+        d, u = heapq.heappop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        for idx in range(indptr[u], indptr[u + 1]):
+            v = nbrs[idx]
+            length = lengths[idx]
+            if not np.isfinite(length):
+                continue
+            candidate = d + length
+            if candidate < dist[v]:
+                dist[v] = candidate
+                pred[v] = u
+                heapq.heappush(heap, (candidate, int(v)))
+    return dist, pred
+
+
+def shortest_path_tree(graph: Graph, source: int,
+                       lengths: Optional[np.ndarray] = None
+                       ) -> List[Tuple[int, int]]:
+    """Edges ``(pred[v], v)`` of the shortest-path tree rooted at ``source``.
+
+    Ties between equal-length paths are resolved by Dijkstra's settle
+    order, giving one deterministic tree per root — the same convention as
+    the reference HSS implementation.
+    """
+    _, pred = dijkstra(graph, source, lengths=lengths)
+    return [(int(p), int(v)) for v, p in enumerate(pred) if p != _UNREACHED]
+
+
+def all_pairs_distances(graph: Graph,
+                        lengths: Optional[np.ndarray] = None) -> np.ndarray:
+    """Dense matrix of shortest distances between all node pairs."""
+    out = np.empty((graph.n_nodes, graph.n_nodes), dtype=np.float64)
+    for source in range(graph.n_nodes):
+        dist, _ = dijkstra(graph, source, lengths=lengths)
+        out[source] = dist
+    return out
+
+
+def bfs_order(table: EdgeTable, source: int) -> np.ndarray:
+    """Breadth-first visit order from ``source`` (unweighted)."""
+    graph = Graph(table)
+    seen = np.zeros(table.n_nodes, dtype=bool)
+    seen[source] = True
+    order = [source]
+    frontier = [source]
+    while frontier:
+        nxt: List[int] = []
+        for node in frontier:
+            nbrs, _ = graph.neighbors_of(node)
+            for v in nbrs.tolist():
+                if not seen[v]:
+                    seen[v] = True
+                    order.append(v)
+                    nxt.append(v)
+        frontier = nxt
+    return np.asarray(order, dtype=np.int64)

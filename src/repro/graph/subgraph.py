@@ -1,0 +1,77 @@
+"""Induced subgraphs and node relabeling.
+
+Backbones keep the original node universe (indices stay comparable with
+the input network); when a downstream analysis wants a compact graph —
+e.g. community discovery on the non-isolated part only — these helpers
+extract induced subgraphs with dense relabeling and remember the
+mapping back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util.validation import as_index_array, require
+from .edge_table import EdgeTable
+
+
+@dataclass(frozen=True)
+class Subgraph:
+    """An induced subgraph plus the mapping to original node ids."""
+
+    table: EdgeTable
+    original_ids: np.ndarray
+
+    def to_original(self, node: int) -> int:
+        """Original id of a subgraph node."""
+        return int(self.original_ids[node])
+
+    def lift_labels(self, labels: np.ndarray,
+                    fill: int = -1) -> np.ndarray:
+        """Scatter subgraph node labels back onto the original universe.
+
+        Nodes outside the subgraph get ``fill``.
+        """
+        labels = as_index_array(labels, "labels")
+        require(len(labels) == self.table.n_nodes,
+                "labels must cover the subgraph's nodes")
+        n_original = int(self.original_ids.max()) + 1 \
+            if len(self.original_ids) else 0
+        out = np.full(max(n_original, 1), fill, dtype=np.int64)
+        out[self.original_ids] = labels
+        return out
+
+
+def induced_subgraph(table: EdgeTable, nodes) -> Subgraph:
+    """Subgraph on ``nodes`` with dense relabeling.
+
+    Edges with either endpoint outside ``nodes`` are dropped. The
+    subgraph's node ``i`` corresponds to ``original_ids[i]`` in the
+    input.
+    """
+    nodes = np.unique(as_index_array(nodes, "nodes"))
+    if len(nodes):
+        require(int(nodes.max()) < table.n_nodes,
+                "nodes contains indices outside the table")
+    remap = np.full(table.n_nodes, -1, dtype=np.int64)
+    remap[nodes] = np.arange(len(nodes))
+    keep = (remap[table.src] >= 0) & (remap[table.dst] >= 0)
+    sub = EdgeTable(remap[table.src[keep]], remap[table.dst[keep]],
+                    table.weight[keep], n_nodes=len(nodes),
+                    directed=table.directed, coalesce=False)
+    return Subgraph(table=sub, original_ids=nodes)
+
+
+def non_isolated_subgraph(table: EdgeTable) -> Subgraph:
+    """Induced subgraph on the nodes with at least one edge."""
+    return induced_subgraph(table, np.flatnonzero(table.degree() > 0))
+
+
+def giant_component_subgraph(table: EdgeTable) -> Subgraph:
+    """Induced subgraph on the largest (weak) component."""
+    from .components import giant_component_mask
+
+    return induced_subgraph(table, np.flatnonzero(
+        giant_component_mask(table)))

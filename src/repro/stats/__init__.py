@@ -1,0 +1,47 @@
+"""Statistics substrate: distributions, correlations, OLS, empirical CDFs."""
+
+from .correlation import (CorrelationResult, log_log_pearson, pearson,
+                          pearson_test, spearman, spearman_test)
+from .distributions import (Beta, Binomial, beta_from_moments,
+                            binomial_variance, hypergeometric_prior_moments,
+                            normal_cdf, normal_quantile, normal_sf)
+from .empirical import (ccdf_points, ecdf_points, quantile,
+                        weight_spread_summary)
+from .moments import (delta_method_variance, sample_mean_variance,
+                      weighted_mean)
+from .ranking import rankdata_average
+from .regression import OLSResult, design_matrix, ols
+from .significance import (PAPER_DELTAS, delta_for_p_value, delta_table,
+                           p_value_for_delta)
+
+__all__ = [
+    "Beta",
+    "Binomial",
+    "CorrelationResult",
+    "OLSResult",
+    "PAPER_DELTAS",
+    "beta_from_moments",
+    "binomial_variance",
+    "ccdf_points",
+    "delta_for_p_value",
+    "delta_method_variance",
+    "delta_table",
+    "design_matrix",
+    "ecdf_points",
+    "hypergeometric_prior_moments",
+    "log_log_pearson",
+    "normal_cdf",
+    "normal_quantile",
+    "normal_sf",
+    "ols",
+    "p_value_for_delta",
+    "pearson",
+    "pearson_test",
+    "quantile",
+    "rankdata_average",
+    "sample_mean_variance",
+    "spearman",
+    "spearman_test",
+    "weight_spread_summary",
+    "weighted_mean",
+]

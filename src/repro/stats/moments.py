@@ -1,0 +1,52 @@
+"""Moment utilities: sample variance across repeated measurements and the
+delta method.
+
+Table I of the paper validates the NC variance model by correlating the
+*predicted* variance of the transformed edge weight against the *observed*
+variance across yearly snapshots; the observed side is the per-edge sample
+variance computed here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..util.validation import require
+
+
+def sample_mean_variance(rows: Sequence[np.ndarray]):
+    """Per-position sample mean and (ddof=1) variance across ``rows``.
+
+    ``rows`` is a sequence of equal-length vectors — e.g. one vector of
+    edge scores per year. Requires at least two rows.
+    """
+    require(len(rows) >= 2, "need at least two repeated measurements")
+    stacked = np.vstack([np.asarray(row, dtype=np.float64) for row in rows])
+    return stacked.mean(axis=0), stacked.var(axis=0, ddof=1)
+
+
+def delta_method_variance(var_x, derivative):
+    """First-order delta method: ``V[g(X)] ~= g'(mu)^2 V[X]``.
+
+    ``derivative`` may be an array of evaluated derivatives or a callable
+    applied to nothing (pre-evaluated arrays are the common case in the NC
+    pipeline).
+    """
+    if isinstance(derivative, Callable):
+        derivative = derivative()
+    derivative = np.asarray(derivative, dtype=np.float64)
+    var_x = np.asarray(var_x, dtype=np.float64)
+    return var_x * derivative ** 2
+
+
+def weighted_mean(values, weights):
+    """Weighted arithmetic mean."""
+    values = np.asarray(values, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    require(values.shape == weights.shape,
+            "values and weights must align")
+    total = weights.sum()
+    require(total > 0, "weights must not all be zero")
+    return float((values * weights).sum() / total)

@@ -1,0 +1,31 @@
+"""Rank transforms with average tie handling.
+
+Spearman correlation — the paper's stability metric (Section V-F) — is the
+Pearson correlation of average ranks, so tie handling must match the usual
+"average" convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util.validation import as_float_array
+
+
+def rankdata_average(values) -> np.ndarray:
+    """Return 1-based ranks, assigning tied values their average rank."""
+    values = as_float_array(values, "values")
+    n = len(values)
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(n, dtype=np.float64)
+    sorted_values = values[order]
+    # Group boundaries between runs of equal values.
+    boundaries = np.flatnonzero(np.diff(sorted_values) != 0) + 1
+    starts = np.concatenate([[0], boundaries])
+    stops = np.concatenate([boundaries, [n]])
+    for start, stop in zip(starts, stops):
+        average_rank = 0.5 * (start + stop - 1) + 1.0
+        ranks[order[start:stop]] = average_rank
+    return ranks

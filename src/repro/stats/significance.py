@@ -1,0 +1,41 @@
+"""Mapping between the NC parameter ``delta`` and significance levels.
+
+The paper (Section IV) treats the delta filter as "roughly equivalent to a
+one-tailed test of statistical significance", quoting delta values 1.28,
+1.64 and 2.32 for p-values 0.1, 0.05 and 0.01.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .distributions import normal_quantile, normal_sf
+
+#: The paper's suggested settings (one-tailed p-value -> delta).
+PAPER_DELTAS = {0.1: 1.28, 0.05: 1.64, 0.01: 2.32}
+
+
+def delta_for_p_value(p: float) -> float:
+    """One-tailed critical value: smallest delta with ``P(Z > delta) <= p``."""
+    p = float(p)
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must lie strictly in (0, 1), got {p}")
+    return float(normal_quantile(1.0 - p))
+
+
+def p_value_for_delta(delta: float) -> float:
+    """One-tailed p-value of a given delta."""
+    return float(normal_sf(float(delta)))
+
+
+def delta_table() -> np.ndarray:
+    """Return the paper's (p, delta) pairs alongside the exact values.
+
+    Columns: nominal p, the paper's rounded delta, the exact normal
+    quantile. Used by the documentation tests to show the approximation
+    the paper makes.
+    """
+    rows = []
+    for p, rounded in sorted(PAPER_DELTAS.items()):
+        rows.append((p, rounded, delta_for_p_value(p)))
+    return np.asarray(rows, dtype=np.float64)

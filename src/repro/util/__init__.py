@@ -1,0 +1,22 @@
+"""Shared utilities: validation, ASCII tables and charts, timing."""
+
+from .ascii_plot import ascii_chart
+from .tables import format_series, format_table
+from .timing import Timer
+from .validation import (as_float_array, as_index_array, check_non_negative,
+                         check_positive, check_probability,
+                         check_same_length, require)
+
+__all__ = [
+    "Timer",
+    "as_float_array",
+    "ascii_chart",
+    "as_index_array",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_same_length",
+    "format_series",
+    "format_table",
+    "require",
+]

@@ -1,0 +1,92 @@
+"""Plain-text charts for figure-style experiment output.
+
+The paper's figures are log-log line plots; in a text-only harness we
+render them as fixed-size character grids. One glyph per series, row
+per y-bucket, column per x-position, with optional log scaling on
+either axis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence
+
+#: Glyphs assigned to series in insertion order.
+SERIES_GLYPHS = "ox+*#@%&"
+
+
+def ascii_chart(series: Mapping[str, Sequence[float]],
+                x_values: Sequence[float], width: int = 64,
+                height: int = 16, log_x: bool = False,
+                log_y: bool = False,
+                title: Optional[str] = None) -> str:
+    """Render named y-series over shared x-values as a character chart.
+
+    NaN values and (under log scaling) non-positive values are skipped.
+    Later series overwrite earlier ones where they collide.
+    """
+    if width < 8 or height < 4:
+        raise ValueError("chart needs width >= 8 and height >= 4")
+    if not series:
+        raise ValueError("need at least one series")
+    if len(series) > len(SERIES_GLYPHS):
+        raise ValueError(f"at most {len(SERIES_GLYPHS)} series supported")
+
+    points: Dict[str, List[tuple]] = {}
+    xs_all: List[float] = []
+    ys_all: List[float] = []
+    for name, ys in series.items():
+        kept = []
+        for x, y in zip(x_values, ys):
+            if y != y:  # NaN
+                continue
+            if log_x and x <= 0:
+                continue
+            if log_y and y <= 0:
+                continue
+            tx = math.log10(x) if log_x else float(x)
+            ty = math.log10(y) if log_y else float(y)
+            kept.append((tx, ty))
+            xs_all.append(tx)
+            ys_all.append(ty)
+        points[name] = kept
+    if not xs_all:
+        raise ValueError("no plottable points")
+
+    x_low, x_high = min(xs_all), max(xs_all)
+    y_low, y_high = min(ys_all), max(ys_all)
+    x_span = x_high - x_low or 1.0
+    y_span = y_high - y_low or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (name, kept) in zip(SERIES_GLYPHS, points.items()):
+        for tx, ty in kept:
+            column = int(round((tx - x_low) / x_span * (width - 1)))
+            row = int(round((ty - y_low) / y_span * (height - 1)))
+            grid[height - 1 - row][column] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_top = f"{(10 ** y_high if log_y else y_high):.3g}"
+    y_bottom = f"{(10 ** y_low if log_y else y_low):.3g}"
+    label_width = max(len(y_top), len(y_bottom))
+    for index, row in enumerate(grid):
+        if index == 0:
+            label = y_top.rjust(label_width)
+        elif index == height - 1:
+            label = y_bottom.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    x_left = f"{(10 ** x_low if log_x else x_low):.3g}"
+    x_right = f"{(10 ** x_high if log_x else x_high):.3g}"
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    gap = width - len(x_left) - len(x_right)
+    lines.append(" " * (label_width + 2) + x_left + " " * max(gap, 1)
+                 + x_right)
+    legend = "  ".join(f"{glyph}={name}" for glyph, name
+                       in zip(SERIES_GLYPHS, points))
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""ASCII rendering for experiment output.
+
+The benchmark harness regenerates the paper's tables and figure series as
+text; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+Number = Union[int, float]
+Cell = Union[str, Number, None]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+                 title: Optional[str] = None, precision: int = 4) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    ``None`` cells render as ``n/a`` (the paper uses this for methods that
+    are inapplicable, e.g. Doubly Stochastic on non-squarable networks).
+    """
+    formatted_rows = [[_format_cell(cell, precision) for cell in row]
+                      for row in rows]
+    columns = [list(column) for column in
+               zip(*([list(headers)] + formatted_rows))] if formatted_rows \
+        else [[h] for h in headers]
+    widths = [max(len(value) for value in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in formatted_rows:
+        lines.append("  ".join(value.ljust(width)
+                               for value, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[str, Sequence[Number]],
+                  x_label: str, x_values: Sequence[Number],
+                  title: Optional[str] = None, precision: int = 4) -> str:
+    """Render named y-series over shared x-values as an ASCII table.
+
+    Used for "figure" outputs: one row per x, one column per series.
+    """
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row: list = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[i] if i < len(values) else None)
+        rows.append(row)
+    return format_table(headers, rows, title=title, precision=precision)
+
+
+def _format_cell(cell: Cell, precision: int) -> str:
+    if cell is None:
+        return "n/a"
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, int):
+        return str(cell)
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "nan"
+        return f"{cell:.{precision}f}"
+    return str(cell)

@@ -1,0 +1,39 @@
+"""Wall-clock timing for the scalability experiment (paper Fig. 9)."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Tuple
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds."""
+
+    def __init__(self):
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def time_call(function: Callable, *args, repeats: int = 1,
+              **kwargs) -> Tuple[float, object]:
+    """Run ``function`` ``repeats`` times; return (mean seconds, last result).
+
+    The paper reports the average of ten runs per network size; this is
+    the equivalent harness hook.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    total = 0.0
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = function(*args, **kwargs)
+        total += time.perf_counter() - start
+    return total / repeats, result

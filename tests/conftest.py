@@ -1,0 +1,19 @@
+"""Shared fixtures: one small synthetic world reused across test modules."""
+
+import pytest
+
+from repro.generators import SyntheticWorld, generate_occupation_study
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A 50-country world, large enough for every statistical check."""
+    return SyntheticWorld(n_countries=50, n_years=3, seed=20,
+                          n_products=150)
+
+
+@pytest.fixture(scope="session")
+def small_study():
+    """A compact occupation case-study dataset."""
+    return generate_occupation_study(n_occupations=90, n_skills=70,
+                                     n_major_groups=6, seed=20)

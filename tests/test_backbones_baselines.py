@@ -1,0 +1,307 @@
+"""Tests for the five baseline backbone methods."""
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.backbones import (DisparityFilter, DoublyStochastic,
+                             HighSalienceSkeleton, MaximumSpanningTree,
+                             NaiveThreshold, SinkhornConvergenceError,
+                             sinkhorn_knopp)
+from repro.graph import EdgeTable, is_connected
+
+
+def random_undirected(n=20, m=60, seed=0, low=1, high=50):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    weight = rng.integers(low, high, m).astype(float)
+    table = EdgeTable(src, dst, weight, n_nodes=n, directed=False)
+    return table.without_self_loops()
+
+
+def random_directed(n=15, seed=1):
+    rng = np.random.default_rng(seed)
+    src, dst = np.nonzero(~np.eye(n, dtype=bool))
+    keep = rng.uniform(size=len(src)) < 0.5
+    weight = rng.integers(1, 40, keep.sum()).astype(float)
+    return EdgeTable(src[keep], dst[keep], weight, n_nodes=n, directed=True)
+
+
+class TestNaive:
+    def test_score_is_weight(self):
+        table = random_undirected()
+        scored = NaiveThreshold().score(table)
+        assert np.array_equal(scored.score, scored.table.weight)
+
+    def test_extract_threshold(self):
+        table = EdgeTable([0, 1, 2], [1, 2, 3], [1.0, 5.0, 10.0])
+        kept = NaiveThreshold().extract(table, threshold=4.0)
+        assert sorted(kept.weight.tolist()) == [5.0, 10.0]
+
+    def test_extract_n_edges(self):
+        table = random_undirected()
+        kept = NaiveThreshold().extract(table, n_edges=7)
+        assert kept.m == 7
+        assert kept.weight.min() >= np.sort(table.weight)[-7]
+
+    def test_requires_budget(self):
+        with pytest.raises(ValueError):
+            NaiveThreshold().extract(random_undirected())
+
+
+class TestMst:
+    def test_tree_size_on_connected_graph(self):
+        table = random_undirected(seed=3)
+        tree = MaximumSpanningTree().extract(table)
+        if is_connected(table):
+            assert tree.m == table.n_nodes - 1
+
+    def test_spans_all_nodes(self):
+        table = random_undirected(seed=4)
+        tree = MaximumSpanningTree().extract(table)
+        non_isolated_before = table.non_isolated_count()
+        assert tree.non_isolated_count() == non_isolated_before
+
+    def test_matches_networkx_total_weight(self):
+        table = random_undirected(seed=5)
+        tree = MaximumSpanningTree().extract(table)
+        g = nx.Graph()
+        g.add_nodes_from(range(table.n_nodes))
+        for u, v, w in table.iter_edges():
+            g.add_edge(u, v, weight=w)
+        nx_tree = nx.maximum_spanning_tree(g)
+        assert tree.total_weight == pytest.approx(
+            nx_tree.size(weight="weight"))
+
+    def test_forest_on_disconnected_graph(self):
+        table = EdgeTable([0, 1, 3, 4], [1, 2, 4, 5], [1.0] * 4,
+                          n_nodes=6, directed=False)
+        forest = MaximumSpanningTree().extract(table)
+        assert forest.m == 4  # two trees of two edges each
+
+    def test_directed_input_symmetrized(self):
+        table = random_directed()
+        tree = MaximumSpanningTree().extract(table)
+        assert not tree.directed
+
+    def test_deterministic_under_ties(self):
+        table = EdgeTable([0, 0, 1, 2], [1, 2, 2, 3], [1.0] * 4,
+                          directed=False)
+        first = MaximumSpanningTree().extract(table)
+        second = MaximumSpanningTree().extract(table)
+        assert first == second
+
+    def test_rejects_budget(self):
+        with pytest.raises(ValueError):
+            MaximumSpanningTree().extract(random_undirected(), share=0.5)
+
+
+class TestDisparity:
+    def test_closed_form_single_node(self):
+        # Star: center 0 with strength 10 over 3 edges.
+        table = EdgeTable([0, 0, 0], [1, 2, 3], [5.0, 3.0, 2.0],
+                          directed=False)
+        scored = DisparityFilter().score(table)
+        # Leaves have degree 1 -> their side gives p = 1; the center
+        # side gives (1 - w/10)^2.
+        expected = {(0, 1): 1 - (1 - 0.5) ** 2, (0, 2): 1 - (1 - 0.3) ** 2,
+                    (0, 3): 1 - (1 - 0.2) ** 2}
+        for (u, v, _), score in zip(scored.table.iter_edges(), scored.score):
+            assert score == pytest.approx(expected[(u, v)])
+
+    def test_degree_one_both_sides_never_significant(self):
+        table = EdgeTable([0, 1], [1, 2], [5.0, 5.0], directed=False)
+        scored = DisparityFilter().score(table)
+        # Middle node has degree 2, so each edge gets tested there:
+        # p = (1 - 0.5)^1 = 0.5 -> score 0.5.
+        assert np.allclose(scored.score, 0.5)
+
+    def test_isolated_pair_uninformative(self):
+        table = EdgeTable([0], [1], [5.0], directed=False)
+        scored = DisparityFilter().score(table)
+        assert scored.score[0] == pytest.approx(0.0)
+
+    def test_directed_tests_source_out_and_target_in(self):
+        # Source 0 emits two edges; target 2 receives only one of them
+        # but also receives from 3. Check the exact min-p composition.
+        table = EdgeTable([0, 0, 3], [1, 2, 2], [8.0, 2.0, 2.0])
+        scored = DisparityFilter().score(table)
+        lookup = {(u, v): s for (u, v, _), s in
+                  zip(scored.table.iter_edges(), scored.score)}
+        p_src = (1 - 8.0 / 10.0) ** 1  # 0 as emitter, k=2
+        p_dst = 1.0                    # 1 as receiver, k=1
+        assert lookup[(0, 1)] == pytest.approx(1 - min(p_src, p_dst))
+        p_src = (1 - 2.0 / 10.0) ** 1   # 0 as emitter
+        p_dst = (1 - 2.0 / 4.0) ** 1    # 2 as receiver, k=2, s=4
+        assert lookup[(0, 2)] == pytest.approx(1 - min(p_src, p_dst))
+
+    def test_hub_spokes_kept_peripheral_link_dropped(self):
+        # The paper's Fig. 3 asymmetry: DF favours hub connections
+        # (from the spokes' perspective they are hugely significant),
+        # NC favours the peripheral 1-2 edge. Compare rankings.
+        from repro.core import NoiseCorrectedBackbone
+
+        edges = [(0, 1, 10.0), (0, 2, 10.0), (0, 3, 12.0), (0, 4, 12.0),
+                 (0, 5, 12.0), (1, 2, 4.0)]
+        table = EdgeTable.from_pairs(edges, directed=False)
+        df_scored = DisparityFilter().score(table)
+        nc_scored = NoiseCorrectedBackbone().score(table)
+
+        def rank_of_peripheral(scored):
+            order = np.argsort(-scored.score)
+            for rank, row in enumerate(order):
+                key = (scored.table.src[row], scored.table.dst[row])
+                if key == (1, 2):
+                    return rank
+            raise AssertionError("edge (1, 2) missing")
+
+        assert rank_of_peripheral(nc_scored) < rank_of_peripheral(df_scored)
+
+    def test_uniform_weights_uninformative(self):
+        # All edges carrying equal shares leave the filter indifferent.
+        table = EdgeTable([0, 0, 1, 1, 2, 2], [1, 2, 2, 0, 0, 1],
+                          [3.0] * 6, directed=True)
+        scored = DisparityFilter().score(table)
+        assert np.allclose(scored.score, scored.score[0])
+
+
+class TestSinkhorn:
+    def test_balances_positive_matrix(self):
+        rng = np.random.default_rng(7)
+        n = 8
+        matrix = rng.uniform(0.5, 2.0, (n, n))
+        np.fill_diagonal(matrix, 0.0)
+        table = EdgeTable.from_dense(matrix, directed=True)
+        row_scale, col_scale = sinkhorn_knopp(table)
+        balanced = matrix * row_scale[:, None] * col_scale[None, :]
+        assert np.allclose(balanced.sum(axis=0), 1.0, atol=1e-6)
+        assert np.allclose(balanced.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_symmetric_input_balances(self):
+        table = random_undirected(n=10, m=40, seed=8)
+        if table.isolates().size:
+            with pytest.raises(SinkhornConvergenceError):
+                sinkhorn_knopp(table)
+            return
+        row_scale, col_scale = sinkhorn_knopp(table)
+        dense = table.to_dense()
+        balanced = dense * row_scale[:, None] * col_scale[None, :]
+        assert np.allclose(balanced.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_zero_row_raises(self):
+        table = EdgeTable([0, 1], [1, 2], [1.0, 1.0], n_nodes=3,
+                          directed=True)
+        with pytest.raises(SinkhornConvergenceError):
+            sinkhorn_knopp(table)  # node 2 emits nothing
+
+    def test_no_total_support_raises(self):
+        # 2x2 with only one permutation available cannot be balanced if
+        # an entry is missing: [[0, a], [b, 0]] CAN be balanced; use a
+        # genuinely unbalanceable pattern instead: [[a, b], [c, 0]] has
+        # total support issues for the zero cell's permanent.
+        table = EdgeTable([0, 0, 1], [0, 1, 0], [1.0, 1.0, 1.0],
+                          n_nodes=2, directed=True)
+        with pytest.raises(SinkhornConvergenceError):
+            sinkhorn_knopp(table, max_iterations=200)
+
+
+class TestDoublyStochastic:
+    def test_backbone_connects_all_nodes(self):
+        table = random_undirected(n=12, m=50, seed=9)
+        if table.isolates().size:
+            table = table.subset(np.arange(table.m))  # keep as-is
+        try:
+            backbone = DoublyStochastic().extract(table)
+        except SinkhornConvergenceError:
+            pytest.skip("matrix not balanceable")
+        # All non-isolated input nodes end in one component.
+        assert backbone.non_isolated_count() == table.non_isolated_count()
+        kept_nonisolated = backbone.subset(backbone.weight > -1)
+        assert is_connected(
+            _restrict_to_non_isolated(kept_nonisolated))
+
+    def test_rejects_budget(self):
+        with pytest.raises(ValueError):
+            DoublyStochastic().extract(random_undirected(), n_edges=5)
+
+    def test_scores_positive(self):
+        table = random_undirected(n=10, m=45, seed=10)
+        try:
+            scored = DoublyStochastic().score(table)
+        except SinkhornConvergenceError:
+            pytest.skip("matrix not balanceable")
+        assert np.all(scored.score > 0)
+
+
+def _restrict_to_non_isolated(table: EdgeTable) -> EdgeTable:
+    keep_nodes = np.flatnonzero(table.degree() > 0)
+    remap = -np.ones(table.n_nodes, dtype=np.int64)
+    remap[keep_nodes] = np.arange(len(keep_nodes))
+    return EdgeTable(remap[table.src], remap[table.dst], table.weight,
+                     n_nodes=len(keep_nodes), directed=table.directed)
+
+
+class TestHighSalience:
+    def test_path_graph_fully_salient(self):
+        # On a path every edge lies on every shortest-path tree.
+        table = EdgeTable([0, 1, 2], [1, 2, 3], [1.0, 2.0, 3.0],
+                          directed=False)
+        scored = HighSalienceSkeleton().score(table)
+        assert np.allclose(scored.score, 1.0)
+
+    def test_weak_shortcut_has_low_salience(self):
+        # Strong path 0-1-2 plus a weak direct 0-2 edge: no SPT uses the
+        # shortcut.
+        table = EdgeTable([0, 1, 0], [1, 2, 2], [10.0, 10.0, 1.0],
+                          directed=False)
+        scored = HighSalienceSkeleton().score(table)
+        lookup = {(u, v): s for (u, v, _), s in
+                  zip(scored.table.iter_edges(), scored.score)}
+        assert lookup[(0, 2)] == pytest.approx(0.0)
+        assert lookup[(0, 1)] == pytest.approx(1.0)
+
+    def test_salience_bounded(self):
+        table = random_undirected(n=15, m=45, seed=11)
+        scored = HighSalienceSkeleton().score(table)
+        assert np.all(scored.score >= 0.0)
+        assert np.all(scored.score <= 1.0)
+
+    def test_default_threshold_extraction(self):
+        table = EdgeTable([0, 1, 0], [1, 2, 2], [10.0, 10.0, 1.0],
+                          directed=False)
+        backbone = HighSalienceSkeleton().extract(table)
+        assert (0, 2) not in backbone.edge_key_set()
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            HighSalienceSkeleton(default_threshold=1.5)
+
+    def test_directed_input_symmetrized(self):
+        table = random_directed(seed=12)
+        scored = HighSalienceSkeleton().score(table)
+        assert not scored.table.directed
+
+
+class TestRegistry:
+    def test_all_codes_instantiate(self):
+        from repro.backbones import get_method, method_codes
+        for code in method_codes():
+            method = get_method(code)
+            assert hasattr(method, "score")
+
+    def test_paper_methods_order(self):
+        from repro.backbones import PAPER_METHOD_CODES, paper_methods
+        methods = paper_methods()
+        assert tuple(m.code for m in methods) == PAPER_METHOD_CODES
+
+    def test_unknown_code_rejected(self):
+        from repro.backbones import get_method
+        with pytest.raises(ValueError):
+            get_method("XX")
+
+    def test_kwargs_forwarded(self):
+        from repro.backbones import get_method
+        nc = get_method("NC", delta=2.32)
+        assert nc.delta == 2.32

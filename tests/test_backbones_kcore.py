@@ -1,0 +1,86 @@
+"""Tests for the k-core decomposition baseline."""
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.backbones import KCore, core_numbers, get_method
+from repro.graph import EdgeTable
+
+
+def random_table(n=40, m=120, seed=0):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    table = EdgeTable(src, dst, np.ones(m), n_nodes=n, directed=False)
+    return table.without_self_loops()
+
+
+class TestCoreNumbers:
+    def test_clique_core(self):
+        # A 5-clique: every node has core number 4.
+        src, dst = np.triu_indices(5, k=1)
+        table = EdgeTable(src, dst, np.ones(len(src)), directed=False)
+        assert core_numbers(table).tolist() == [4] * 5
+
+    def test_path_core(self):
+        table = EdgeTable([0, 1, 2], [1, 2, 3], [1.0] * 3, directed=False)
+        assert core_numbers(table).tolist() == [1, 1, 1, 1]
+
+    def test_clique_with_pendant(self):
+        src, dst = np.triu_indices(4, k=1)
+        table = EdgeTable(list(src) + [0], list(dst) + [4],
+                          [1.0] * (len(src) + 1), directed=False)
+        core = core_numbers(table)
+        assert core[4] == 1
+        assert core[:4].tolist() == [3, 3, 3, 3]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_networkx(self, seed):
+        table = random_table(seed=seed)
+        ours = core_numbers(table)
+        g = nx.Graph()
+        g.add_nodes_from(range(table.n_nodes))
+        g.add_edges_from(zip(table.src.tolist(), table.dst.tolist()))
+        theirs = nx.core_number(g)
+        for node in range(table.n_nodes):
+            assert ours[node] == theirs[node]
+
+    def test_isolates_core_zero(self):
+        table = EdgeTable([0], [1], [1.0], n_nodes=4, directed=False)
+        core = core_numbers(table)
+        assert core[2] == 0 and core[3] == 0
+
+
+class TestKCoreBackbone:
+    def test_extracts_k_core_edges(self):
+        # 4-clique plus a pendant chain: 2-core = the clique.
+        src, dst = np.triu_indices(4, k=1)
+        table = EdgeTable(list(src) + [0, 4], list(dst) + [4, 5],
+                          [1.0] * (len(src) + 2), directed=False)
+        backbone = KCore(k=2).extract(table)
+        assert backbone.m == 6
+        assert backbone.non_isolated_count() == 4
+
+    def test_matches_networkx_k_core(self):
+        table = random_table(seed=5)
+        backbone = KCore(k=3).extract(table)
+        g = nx.Graph()
+        g.add_nodes_from(range(table.n_nodes))
+        g.add_edges_from(zip(table.src.tolist(), table.dst.tolist()))
+        nx_core = nx.k_core(g, 3)
+        assert backbone.m == nx_core.number_of_edges()
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            KCore(k=0)
+
+    def test_registered(self):
+        method = get_method("KC", k=3)
+        assert method.k == 3
+
+    def test_budget_extraction_supported(self):
+        table = random_table(seed=6)
+        backbone = KCore().extract(table, n_edges=20)
+        assert backbone.m == 20

@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph import EdgeTable, read_edge_csv, write_edge_csv
+
+
+@pytest.fixture()
+def edges_csv(tmp_path):
+    rng = np.random.default_rng(0)
+    src, dst = np.triu_indices(20, k=1)
+    weight = rng.integers(1, 50, len(src)).astype(float)
+    table = EdgeTable(src, dst, weight, n_nodes=20, directed=False,
+                      coalesce=False)
+    path = tmp_path / "edges.csv"
+    write_edge_csv(table, path)
+    return path
+
+
+class TestBackboneCommand:
+    def test_nc_default_delta(self, edges_csv, tmp_path, capsys):
+        out = tmp_path / "backbone.csv"
+        code = main(["backbone", str(edges_csv), str(out)])
+        assert code == 0
+        backbone = read_edge_csv(out, directed=False)
+        original = read_edge_csv(edges_csv, directed=False)
+        assert 0 < backbone.m < original.m
+        assert "kept" in capsys.readouterr().out
+
+    def test_share_budget(self, edges_csv, tmp_path):
+        out = tmp_path / "backbone.csv"
+        assert main(["backbone", str(edges_csv), str(out), "--method",
+                     "NT", "--share", "0.2"]) == 0
+        backbone = read_edge_csv(out, directed=False)
+        original = read_edge_csv(edges_csv, directed=False)
+        assert backbone.m == round(0.2 * original.m)
+
+    def test_n_edges_budget(self, edges_csv, tmp_path):
+        out = tmp_path / "backbone.csv"
+        assert main(["backbone", str(edges_csv), str(out), "--method",
+                     "DF", "--n-edges", "15"]) == 0
+        assert read_edge_csv(out, directed=False).m == 15
+
+    def test_mst_parameter_free(self, edges_csv, tmp_path):
+        out = tmp_path / "backbone.csv"
+        assert main(["backbone", str(edges_csv), str(out), "--method",
+                     "MST"]) == 0
+        backbone = read_edge_csv(out, directed=False)
+        assert backbone.m == 19  # spanning tree of 20 connected nodes
+
+    def test_mst_rejects_budget(self, edges_csv, tmp_path, capsys):
+        out = tmp_path / "backbone.csv"
+        code = main(["backbone", str(edges_csv), str(out), "--method",
+                     "MST", "--share", "0.5"])
+        assert code == 2
+        assert "parameter-free" in capsys.readouterr().err
+
+    def test_budgeted_method_requires_budget(self, edges_csv, tmp_path,
+                                             capsys):
+        out = tmp_path / "backbone.csv"
+        code = main(["backbone", str(edges_csv), str(out), "--method",
+                     "NT"])
+        assert code == 2
+        assert "needs" in capsys.readouterr().err
+
+    def test_budget_flags_mutually_exclusive(self, edges_csv, tmp_path):
+        out = tmp_path / "backbone.csv"
+        with pytest.raises(SystemExit):
+            main(["backbone", str(edges_csv), str(out), "--share", "0.5",
+                  "--n-edges", "3"])
+
+
+class TestScoreCommand:
+    def test_nc_scores_include_sdev(self, edges_csv, tmp_path):
+        out = tmp_path / "scored.csv"
+        assert main(["score", str(edges_csv), str(out)]) == 0
+        header = out.read_text().splitlines()[0]
+        assert header == "src,dst,weight,score,sdev"
+
+    def test_df_scores_no_sdev(self, edges_csv, tmp_path):
+        out = tmp_path / "scored.csv"
+        assert main(["score", str(edges_csv), str(out), "--method",
+                     "DF"]) == 0
+        header = out.read_text().splitlines()[0]
+        assert header == "src,dst,weight,score"
+
+    def test_score_rows_cover_all_edges(self, edges_csv, tmp_path):
+        out = tmp_path / "scored.csv"
+        main(["score", str(edges_csv), str(out)])
+        original = read_edge_csv(edges_csv, directed=False)
+        assert len(out.read_text().splitlines()) == original.m + 1
+
+
+class TestInfoCommand:
+    def test_info_output(self, edges_csv, capsys):
+        assert main(["info", str(edges_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "nodes:     20" in out
+        assert "directed:  False" in out
+        assert "density:" in out
+
+    def test_unknown_method_rejected(self, edges_csv, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["backbone", str(edges_csv), str(tmp_path / "o.csv"),
+                  "--method", "XYZ"])

@@ -1,0 +1,235 @@
+"""Tests for the community substrate."""
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.community import (Partition, compression_gain, entropy, infomap,
+                             label_propagation, louvain,
+                             map_equation_codelength, modularity,
+                             mutual_information,
+                             normalized_mutual_information,
+                             one_community_partition, singleton_partition)
+from repro.generators import planted_partition
+from repro.graph import EdgeTable
+
+
+def two_cliques(k=5, bridge_weight=0.5):
+    """Two k-cliques joined by one weak edge."""
+    edges = []
+    for u in range(k):
+        for v in range(u + 1, k):
+            edges.append((u, v, 10.0))
+            edges.append((k + u, k + v, 10.0))
+    edges.append((0, k, bridge_weight))
+    return EdgeTable.from_pairs(edges, directed=False)
+
+
+class TestPartition:
+    def test_densification(self):
+        p = Partition([10, 10, 42, 7])
+        assert p.n_communities == 3
+        assert len(p) == 4
+
+    def test_equality_up_to_relabeling(self):
+        assert Partition([0, 0, 1]) == Partition([5, 5, 2])
+        assert Partition([0, 0, 1]) != Partition([0, 1, 1])
+
+    def test_sizes_and_communities(self):
+        p = Partition([0, 1, 0, 1, 1])
+        assert p.sizes().tolist() == [2, 3]
+        assert [c.tolist() for c in p.communities()] == [[0, 2], [1, 3, 4]]
+
+    def test_trivial_partitions(self):
+        assert singleton_partition(4).n_communities == 4
+        assert one_community_partition(4).n_communities == 1
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Partition([0, 1]))
+
+
+class TestModularity:
+    def test_one_community_is_zero(self):
+        table = two_cliques()
+        assert modularity(table,
+                          one_community_partition(table.n_nodes)) \
+            == pytest.approx(0.0)
+
+    def test_planted_split_positive(self):
+        table = two_cliques()
+        labels = [0] * 5 + [1] * 5
+        assert modularity(table, Partition(labels)) > 0.4
+
+    def test_wrong_split_lower(self):
+        table = two_cliques()
+        good = modularity(table, Partition([0] * 5 + [1] * 5))
+        bad = modularity(table, Partition([0, 1] * 5))
+        assert good > bad
+
+    def test_matches_networkx(self):
+        rng = np.random.default_rng(0)
+        n = 30
+        src = rng.integers(0, n, 80)
+        dst = rng.integers(0, n, 80)
+        w = rng.uniform(1, 5, 80)
+        table = EdgeTable(src, dst, w, n_nodes=n,
+                          directed=False).without_self_loops()
+        labels = rng.integers(0, 4, n)
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        for u, v, weight in table.iter_edges():
+            g.add_edge(u, v, weight=weight)
+        communities = [set(np.flatnonzero(labels == c).tolist())
+                       for c in range(4)]
+        communities = [c for c in communities if c]
+        expected = nx.community.modularity(g, communities, weight="weight")
+        assert modularity(table, Partition(labels)) \
+            == pytest.approx(expected)
+
+    def test_partition_length_checked(self):
+        with pytest.raises(ValueError):
+            modularity(two_cliques(), Partition([0, 1]))
+
+
+class TestLouvain:
+    def test_recovers_two_cliques(self):
+        table = two_cliques()
+        partition = louvain(table, seed=0)
+        assert partition == Partition([0] * 5 + [1] * 5)
+
+    def test_recovers_planted_partition(self):
+        planted = planted_partition(n_nodes=90, n_communities=3,
+                                    within_rate=30.0, between_rate=0.5,
+                                    noise_rate=0.5, seed=1)
+        partition = louvain(planted.table, seed=0)
+        nmi = normalized_mutual_information(partition,
+                                            Partition(planted.labels))
+        assert nmi > 0.9
+
+    def test_deterministic_given_seed(self):
+        planted = planted_partition(n_nodes=60, seed=2)
+        assert louvain(planted.table, seed=3) \
+            == louvain(planted.table, seed=3)
+
+    def test_improves_modularity_over_trivial(self):
+        planted = planted_partition(n_nodes=60, n_communities=3, seed=4)
+        partition = louvain(planted.table, seed=0)
+        assert modularity(planted.table, partition) >= 0.0
+
+    def test_directed_input_accepted(self):
+        table = EdgeTable([0, 1, 2, 3], [1, 0, 3, 2], [5.0] * 4,
+                          directed=True)
+        partition = louvain(table, seed=0)
+        assert partition.labels[0] == partition.labels[1]
+        assert partition.labels[2] == partition.labels[3]
+
+
+class TestLabelPropagation:
+    def test_recovers_two_cliques(self):
+        partition = label_propagation(two_cliques(), seed=0)
+        assert partition == Partition([0] * 5 + [1] * 5)
+
+    def test_deterministic_given_seed(self):
+        planted = planted_partition(n_nodes=50, seed=5)
+        assert label_propagation(planted.table, seed=1) \
+            == label_propagation(planted.table, seed=1)
+
+
+class TestMapEquation:
+    def test_one_module_codelength_is_visit_entropy(self):
+        table = two_cliques()
+        working = table.without_self_loops()
+        visit = working.strength() / (2 * working.total_weight)
+        expected = -np.sum(visit[visit > 0] * np.log2(visit[visit > 0]))
+        baseline = map_equation_codelength(
+            table, one_community_partition(table.n_nodes))
+        assert baseline == pytest.approx(expected)
+
+    def test_good_partition_compresses(self):
+        table = two_cliques()
+        good = map_equation_codelength(table,
+                                       Partition([0] * 5 + [1] * 5))
+        baseline = map_equation_codelength(
+            table, one_community_partition(table.n_nodes))
+        assert good < baseline
+
+    def test_bad_partition_does_not_compress(self):
+        table = two_cliques()
+        bad = map_equation_codelength(table, Partition([0, 1] * 5))
+        baseline = map_equation_codelength(
+            table, one_community_partition(table.n_nodes))
+        assert bad > baseline
+
+    def test_compression_gain_sign(self):
+        table = two_cliques()
+        assert compression_gain(table,
+                                Partition([0] * 5 + [1] * 5)) > 0
+        assert compression_gain(
+            table, one_community_partition(table.n_nodes)) \
+            == pytest.approx(0.0)
+
+    def test_infomap_finds_cliques(self):
+        partition = infomap(two_cliques(), seed=0)
+        assert partition == Partition([0] * 5 + [1] * 5)
+
+    def test_infomap_on_planted(self):
+        planted = planted_partition(n_nodes=60, n_communities=3,
+                                    within_rate=30.0, between_rate=0.5,
+                                    noise_rate=0.5, seed=6)
+        partition = infomap(planted.table, seed=0)
+        nmi = normalized_mutual_information(partition,
+                                            Partition(planted.labels))
+        assert nmi > 0.8
+
+    def test_infomap_never_worse_than_louvain_seed(self):
+        planted = planted_partition(n_nodes=50, n_communities=3, seed=7)
+        by_louvain = map_equation_codelength(
+            planted.table, louvain(planted.table, seed=0))
+        by_infomap = map_equation_codelength(
+            planted.table, infomap(planted.table, seed=0))
+        assert by_infomap <= by_louvain + 1e-9
+
+
+class TestNmi:
+    def test_identical_partitions(self):
+        p = Partition([0, 0, 1, 1, 2])
+        assert normalized_mutual_information(p, p) == pytest.approx(1.0)
+
+    def test_independent_partitions_near_zero(self):
+        rng = np.random.default_rng(8)
+        a = Partition(rng.integers(0, 2, 2000))
+        b = Partition(rng.integers(0, 2, 2000))
+        assert normalized_mutual_information(a, b) < 0.01
+
+    def test_symmetry(self):
+        a = Partition([0, 0, 1, 1, 2, 2])
+        b = Partition([0, 1, 1, 2, 2, 0])
+        assert normalized_mutual_information(a, b) \
+            == pytest.approx(normalized_mutual_information(b, a))
+
+    def test_entropy_uniform(self):
+        assert entropy(Partition([0, 1, 2, 3])) == pytest.approx(2.0)
+
+    def test_mutual_information_bounded_by_entropy(self):
+        a = Partition([0, 0, 1, 1, 2, 2, 0, 1])
+        b = Partition([0, 1, 1, 0, 2, 2, 0, 1])
+        mi = mutual_information(a, b)
+        assert mi <= min(entropy(a), entropy(b)) + 1e-12
+
+    def test_trivial_conventions(self):
+        flat = one_community_partition(5)
+        rich = Partition([0, 1, 2, 3, 4])
+        assert normalized_mutual_information(flat, flat) == 1.0
+        assert normalized_mutual_information(flat, rich) == 0.0
+
+    def test_matches_sklearn_formula_small_case(self):
+        # Hand-computed: a=[0,0,1,1], b=[0,1,0,1] are independent.
+        a = Partition([0, 0, 1, 1])
+        b = Partition([0, 1, 0, 1])
+        assert normalized_mutual_information(a, b) == pytest.approx(0.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mutual_information(Partition([0, 1]), Partition([0]))

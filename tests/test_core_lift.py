@@ -1,0 +1,142 @@
+"""Tests for expected weights, lift and the symmetric transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (edge_marginals, expected_weights, kappa,
+                        kappa_derivative, lift, transform_lift_values,
+                        transformed_lift)
+from repro.graph import EdgeTable
+
+
+def complete_directed(n=5, seed=0):
+    rng = np.random.default_rng(seed)
+    src, dst = np.nonzero(~np.eye(n, dtype=bool))
+    weight = rng.integers(1, 20, len(src)).astype(float)
+    return EdgeTable(src, dst, weight, n_nodes=n, directed=True)
+
+
+class TestMarginals:
+    def test_directed_marginals_per_edge(self):
+        table = EdgeTable([0, 1], [1, 2], [3.0, 5.0])
+        ni, nj, total = edge_marginals(table)
+        assert ni.tolist() == [3.0, 5.0]
+        assert nj.tolist() == [3.0, 5.0]
+        assert total == 8.0
+
+    def test_undirected_marginals_use_doubling(self):
+        table = EdgeTable([0, 1], [1, 2], [3.0, 5.0], directed=False)
+        ni, nj, total = edge_marginals(table)
+        # strengths: node0=3, node1=8, node2=5; N.. = 16.
+        assert ni.tolist() == [3.0, 8.0]
+        assert nj.tolist() == [8.0, 5.0]
+        assert total == 16.0
+
+
+class TestExpectedWeights:
+    def test_paper_formula(self):
+        table = complete_directed()
+        ni, nj, total = edge_marginals(table)
+        assert np.allclose(expected_weights(table), ni * nj / total)
+
+    def test_expectations_sum_to_total_on_complete_graph(self):
+        # Summing E[N_ij] over all ordered pairs (incl. diagonal) gives
+        # exactly N..; without the diagonal it must fall slightly short.
+        table = complete_directed(n=6)
+        out = table.out_strength()
+        inc = table.in_strength()
+        full_sum = np.outer(out, inc).sum() / table.grand_total
+        assert full_sum == pytest.approx(table.grand_total)
+        assert expected_weights(table).sum() < table.grand_total
+
+    def test_uniform_network_expectation_matches_weight(self):
+        # In a perfectly homogeneous directed cycle every edge weight
+        # equals its expectation... lift is exactly n/ (n) -> compute.
+        n = 8
+        src = np.arange(n)
+        dst = (src + 1) % n
+        table = EdgeTable(src, dst, np.full(n, 3.0), n_nodes=n)
+        # ni = nj = 3, total = 24 -> E = 9/24 = 0.375 for every edge.
+        assert np.allclose(expected_weights(table), 0.375)
+
+
+class TestLift:
+    def test_lift_of_expected_edge_is_one(self):
+        table = complete_directed()
+        expectation = expected_weights(table)
+        adjusted = table.with_weights(expectation)
+        # Re-deriving expectations from the adjusted table changes the
+        # marginals, so instead check the identity directly.
+        assert np.allclose(table.weight / expectation, lift(table))
+
+    def test_zero_expectation_rows_get_zero_lift(self):
+        table = EdgeTable([0, 2], [1, 3], [0.0, 4.0], n_nodes=4)
+        values = lift(table)
+        assert values[0] == 0.0
+        assert values[1] > 0
+
+    def test_transform_paper_example(self):
+        # Paper: lifts 0.1 and 10 map to -0.81 and +0.81.
+        out = transform_lift_values(np.array([0.1, 10.0]))
+        assert out[0] == pytest.approx(-9 / 11)
+        assert out[1] == pytest.approx(9 / 11)
+        assert out[0] == pytest.approx(-out[1])
+
+    def test_transform_fixed_points(self):
+        out = transform_lift_values(np.array([0.0, 1.0]))
+        assert out[0] == -1.0
+        assert out[1] == 0.0
+
+    @given(st.floats(1e-6, 1e6))
+    @settings(max_examples=50)
+    def test_transform_symmetry_property(self, value):
+        # (L-1)/(L+1) is antisymmetric under L -> 1/L.
+        direct = transform_lift_values(np.array([value]))[0]
+        inverse = transform_lift_values(np.array([1.0 / value]))[0]
+        assert direct == pytest.approx(-inverse, abs=1e-9)
+
+    @given(st.floats(0.0, 1e9))
+    @settings(max_examples=50)
+    def test_transform_bounded(self, value):
+        out = transform_lift_values(np.array([value]))[0]
+        assert -1.0 <= out < 1.0
+
+    def test_transformed_lift_monotone_in_weight(self):
+        # Same source, destinations with equal pull elsewhere: the
+        # heavier edge is the more surprising one.
+        table = EdgeTable([0, 0, 3, 3], [1, 2, 1, 2], [1.0, 10.0, 8.0, 8.0],
+                          n_nodes=4)
+        scores = transformed_lift(table)
+        assert scores[1] > scores[0]
+
+
+class TestKappa:
+    def test_kappa_is_reciprocal_expectation(self):
+        table = complete_directed()
+        assert np.allclose(kappa(table), 1.0 / expected_weights(table))
+
+    def test_kappa_derivative_matches_finite_difference(self):
+        # Perturb one edge's weight and recompute kappa from scratch;
+        # the analytic derivative must match the numerical one.
+        table = complete_directed(n=4, seed=2)
+        index = 3
+        epsilon = 1e-5
+
+        def kappa_of(weight_value):
+            weights = table.weight.copy()
+            weights[index] = weight_value
+            return kappa(table.with_weights(weights))[index]
+
+        w0 = table.weight[index]
+        numerical = (kappa_of(w0 + epsilon) - kappa_of(w0 - epsilon)) \
+            / (2 * epsilon)
+        analytic = kappa_derivative(table)[index]
+        assert analytic == pytest.approx(numerical, rel=1e-4)
+
+    def test_degenerate_marginals_give_inf_kappa(self):
+        table = EdgeTable([0, 2], [1, 3], [0.0, 4.0], n_nodes=4)
+        values = kappa(table)
+        assert np.isinf(values[0])
+        assert np.isfinite(values[1])

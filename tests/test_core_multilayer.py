@@ -1,0 +1,145 @@
+"""Tests for the multilayer NC extension (paper future work §VII)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (MultilayerNetwork, NoiseCorrectedBackbone,
+                        multilayer_noise_corrected)
+from repro.graph import EdgeTable
+
+
+def two_layer_network(seed=0, n=25):
+    """Two layers sharing node propensities plus layer-specific edges."""
+    rng = np.random.default_rng(seed)
+    activity = np.exp(rng.normal(0.0, 1.0, n))
+    src, dst = np.triu_indices(n, k=1)
+    base = activity[src] * activity[dst]
+    w1 = rng.poisson(base * 2.0).astype(float)
+    w2 = rng.poisson(base * 0.5).astype(float)
+    layer_a = EdgeTable(src, dst, w1, n_nodes=n, directed=False,
+                        coalesce=False)
+    layer_b = EdgeTable(src, dst, w2, n_nodes=n, directed=False,
+                        coalesce=False)
+    return MultilayerNetwork({"a": layer_a, "b": layer_b})
+
+
+class TestMultilayerNetwork:
+    def test_layer_names_and_totals(self):
+        network = two_layer_network()
+        assert network.layer_names() == ["a", "b"]
+        total = sum(t.grand_total for t in network.layers.values())
+        assert network.grand_total() == pytest.approx(total)
+
+    def test_pooled_strengths_sum_layers(self):
+        network = two_layer_network()
+        manual = sum(t.out_strength() for t in network.layers.values())
+        assert np.allclose(network.total_out_strength(), manual)
+
+    def test_mismatched_node_counts_rejected(self):
+        a = EdgeTable([0], [1], [1.0], n_nodes=3)
+        b = EdgeTable([0], [1], [1.0], n_nodes=4)
+        with pytest.raises(ValueError):
+            MultilayerNetwork({"a": a, "b": b})
+
+    def test_mixed_directedness_rejected(self):
+        a = EdgeTable([0], [1], [1.0], n_nodes=3, directed=True)
+        b = EdgeTable([0], [1], [1.0], n_nodes=3, directed=False)
+        with pytest.raises(ValueError):
+            MultilayerNetwork({"a": a, "b": b})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MultilayerNetwork({})
+
+
+class TestIndependentNull:
+    def test_reduces_to_single_layer_nc(self):
+        network = two_layer_network(seed=1)
+        scored = multilayer_noise_corrected(network,
+                                            null_model="independent")
+        single = NoiseCorrectedBackbone().score(network.layers["a"])
+        assert np.allclose(scored.layers["a"].score, single.score)
+        assert np.allclose(scored.layers["a"].sdev, single.sdev)
+
+    def test_unknown_null_rejected(self):
+        with pytest.raises(ValueError):
+            multilayer_noise_corrected(two_layer_network(),
+                                       null_model="magic")
+
+
+class TestCoupledNull:
+    def test_scores_bounded(self):
+        scored = multilayer_noise_corrected(two_layer_network(seed=2))
+        for layer in scored.layers.values():
+            assert np.all(layer.score >= -1.0)
+            assert np.all(layer.score < 1.0)
+            assert np.all(layer.sdev >= 0.0)
+
+    def test_backbone_per_layer_subset(self):
+        network = two_layer_network(seed=3)
+        scored = multilayer_noise_corrected(network)
+        backbones = scored.backbone(delta=1.64)
+        for name, backbone in backbones.items():
+            assert backbone.edge_key_set() <= \
+                network.layers[name].edge_key_set()
+
+    def test_flattened_backbone_unions_layers(self):
+        network = two_layer_network(seed=4)
+        scored = multilayer_noise_corrected(network)
+        per_layer = scored.backbone(delta=1.0)
+        union_keys = set()
+        for backbone in per_layer.values():
+            union_keys |= backbone.edge_key_set()
+        flattened = scored.flattened_backbone(delta=1.0)
+        assert flattened.edge_key_set() == union_keys
+
+    def test_coupling_changes_the_verdict(self):
+        # A node pair active in layer a but silent in layer b: under the
+        # coupled null its layer-a edge is less surprising (the pair's
+        # propensity is pooled), so coupled scores differ from
+        # independent ones.
+        network = two_layer_network(seed=5)
+        independent = multilayer_noise_corrected(
+            network, null_model="independent")
+        coupled = multilayer_noise_corrected(network,
+                                             null_model="coupled")
+        assert not np.allclose(independent.layers["a"].score,
+                               coupled.layers["a"].score)
+
+    def test_cross_layer_hub_discounted(self):
+        # Node 0 is a huge hub in layer a only. In layer b, an edge from
+        # node 0 with modest weight: the coupled null *expects* node 0
+        # to attract weight everywhere, so its layer-b edge scores lower
+        # under coupling than independently.
+        n = 12
+        hub_edges = [(0, v, 50.0) for v in range(1, n)]
+        ring = [(v, (v % (n - 1)) + 1, 3.0) for v in range(1, n)]
+        layer_a = EdgeTable.from_pairs(hub_edges + ring, n_nodes=n,
+                                       directed=False)
+        layer_b_edges = [(0, 5, 6.0), (1, 2, 6.0), (3, 4, 6.0),
+                         (6, 7, 6.0), (8, 9, 6.0), (10, 11, 6.0)]
+        layer_b = EdgeTable.from_pairs(layer_b_edges, n_nodes=n,
+                                       directed=False)
+        network = MultilayerNetwork({"a": layer_a, "b": layer_b})
+
+        independent = multilayer_noise_corrected(
+            network, null_model="independent").layers["b"]
+        coupled = multilayer_noise_corrected(
+            network, null_model="coupled").layers["b"]
+
+        def score_of(scored, key):
+            for (u, v, _), s in zip(scored.table.iter_edges(),
+                                    scored.score):
+                if (u, v) == key:
+                    return s
+            raise AssertionError(f"edge {key} missing")
+
+        hub_edge = (0, 5)
+        peer_edge = (1, 2)
+        # Relative to a peer edge of identical weight, the hub's edge
+        # loses ground once cross-layer propensities are pooled.
+        independent_gap = score_of(independent, peer_edge) \
+            - score_of(independent, hub_edge)
+        coupled_gap = score_of(coupled, peer_edge) \
+            - score_of(coupled, hub_edge)
+        assert coupled_gap > independent_gap

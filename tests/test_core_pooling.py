@@ -1,0 +1,124 @@
+"""Tests for multi-year pooling and change detection (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (NoiseCorrectedBackbone, pool_years,
+                        significant_changes)
+from repro.graph import EdgeTable
+
+
+def year_pair(shift_edge=None, factor=4.0, seed=0, n=30):
+    """Two yearly snapshots; optionally shift one edge's weight."""
+    rng = np.random.default_rng(seed)
+    src, dst = np.triu_indices(n, k=1)
+    lam = rng.uniform(2.0, 30.0, len(src))
+    w1 = rng.poisson(lam).astype(float)
+    w2 = rng.poisson(lam).astype(float)
+    if shift_edge is not None:
+        index = shift_edge
+        w2[index] = max(w1[index], 1.0) * factor
+    before = EdgeTable(src, dst, w1, n_nodes=n, directed=False,
+                       coalesce=False)
+    after = EdgeTable(src, dst, w2, n_nodes=n, directed=False,
+                      coalesce=False)
+    return before, after
+
+
+class TestPooling:
+    def test_pooled_shapes(self):
+        before, after = year_pair()
+        pooled = pool_years([before, after])
+        assert pooled.n_years == 2
+        assert len(pooled.score) == pooled.table.m
+        assert len(pooled.sdev) == pooled.table.m
+
+    def test_pooled_sdev_smaller_than_single_year(self):
+        before, after = year_pair(seed=1)
+        single = NoiseCorrectedBackbone().score(before)
+        pooled = pool_years([before, after])
+        # Align rows by pair key.
+        single_sd = {key: sd for key, sd in zip(
+            zip(single.table.src.tolist(), single.table.dst.tolist()),
+            single.sdev)}
+        shrunk = 0
+        for key, sd in zip(zip(pooled.table.src.tolist(),
+                               pooled.table.dst.tolist()), pooled.sdev):
+            if key in single_sd and sd < single_sd[key]:
+                shrunk += 1
+        assert shrunk > 0.9 * pooled.table.m
+
+    def test_pooled_score_between_yearly_extremes(self):
+        before, after = year_pair(seed=2)
+        nc = NoiseCorrectedBackbone()
+        s1 = nc.score(before)
+        s2 = nc.score(after)
+        pooled = pool_years([before, after])
+        lookup1 = dict(zip(zip(s1.table.src.tolist(),
+                               s1.table.dst.tolist()), s1.score))
+        lookup2 = dict(zip(zip(s2.table.src.tolist(),
+                               s2.table.dst.tolist()), s2.score))
+        for key, value in zip(zip(pooled.table.src.tolist(),
+                                  pooled.table.dst.tolist()),
+                              pooled.score):
+            if key in lookup1 and key in lookup2:
+                low = min(lookup1[key], lookup2[key]) - 1e-9
+                high = max(lookup1[key], lookup2[key]) + 1e-9
+                assert low <= value <= high
+
+    def test_pooled_backbone_extraction(self):
+        before, after = year_pair(seed=3)
+        pooled = pool_years([before, after])
+        backbone = pooled.backbone(delta=1.64)
+        assert backbone.m < pooled.table.m
+        assert backbone.edge_key_set() <= pooled.table.edge_key_set()
+
+    def test_as_scored_edges_adapter(self):
+        before, after = year_pair(seed=4)
+        scored = pool_years([before, after]).as_scored_edges()
+        assert scored.sdev is not None
+        top = scored.top_k(10)
+        assert top.m == 10
+
+    def test_needs_two_years(self):
+        before, _ = year_pair()
+        with pytest.raises(ValueError):
+            pool_years([before])
+
+    def test_mismatched_universes_rejected(self):
+        a = EdgeTable([0], [1], [1.0], n_nodes=3)
+        b = EdgeTable([0], [1], [1.0], n_nodes=4)
+        with pytest.raises(ValueError):
+            pool_years([a, b])
+
+
+class TestChangeDetection:
+    def test_planted_change_detected(self):
+        index = 17
+        before, after = year_pair(shift_edge=index, factor=6.0, seed=5)
+        changes = significant_changes(before, after, level=0.01)
+        changed_pairs = {(c.src, c.dst) for c in changes}
+        target = (int(before.src[index]), int(before.dst[index]))
+        assert target in changed_pairs
+
+    def test_planted_change_is_most_significant(self):
+        index = 8
+        before, after = year_pair(shift_edge=index, factor=10.0, seed=6)
+        changes = significant_changes(before, after, level=0.01)
+        assert changes, "no changes detected at all"
+        top = changes[0]
+        assert (top.src, top.dst) == (int(before.src[index]),
+                                      int(before.dst[index]))
+        assert top.difference > 0
+
+    def test_no_change_few_detections(self):
+        before, after = year_pair(seed=7)
+        changes = significant_changes(before, after, level=0.001)
+        # Pure sampling noise: at level 0.1% almost nothing should fire.
+        assert len(changes) < 0.01 * before.m
+
+    def test_changes_sorted_by_p_value(self):
+        before, after = year_pair(shift_edge=3, factor=8.0, seed=8)
+        changes = significant_changes(before, after, level=0.05)
+        p_values = [c.p_value for c in changes]
+        assert p_values == sorted(p_values)

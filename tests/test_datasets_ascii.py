@@ -1,0 +1,99 @@
+"""Tests for the bundled datasets and the ASCII chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro import datasets
+from repro.graph import read_edge_csv
+from repro.util.ascii_plot import ascii_chart
+
+
+class TestDatasets:
+    def test_catalog_lists_everything(self):
+        catalog = datasets.dataset_catalog()
+        assert set(catalog) == {"business", "country_space", "flight",
+                                "migration", "ownership", "trade",
+                                "occupations"}
+
+    def test_loading_is_reproducible(self):
+        a = datasets.load_country_network("trade", 0)
+        b = datasets.load_country_network("trade", 0)
+        assert a == b
+
+    def test_years_loader(self):
+        years = datasets.load_country_years("migration")
+        assert len(years) == 3
+        assert years[0] != years[1]
+
+    def test_occupation_study_shape(self):
+        study = datasets.load_occupation_study()
+        assert study.n_occupations == 220
+        assert study.flows.shape == (220, 220)
+
+    def test_export_all_round_trip(self, tmp_path):
+        written = datasets.export_all(tmp_path)
+        # 6 networks x 3 years + co-occurrence + flows.
+        assert len(written) == 20
+        for path in written:
+            assert path.exists()
+            assert path.stat().st_size > 0
+        again = read_edge_csv(tmp_path / "trade_year0.csv",
+                              directed=True,
+                              labels=datasets.release_world()
+                              .covariates.labels)
+        assert again == datasets.load_country_network("trade", 0)
+
+    def test_flow_export_totals(self, tmp_path):
+        datasets.export_all(tmp_path)
+        study = datasets.load_occupation_study()
+        text = (tmp_path / "occupations_flows.csv").read_text()
+        total = sum(int(line.rsplit(",", 1)[1])
+                    for line in text.splitlines()[1:])
+        assert total == int(study.flows.sum())
+
+
+class TestAsciiChart:
+    def test_basic_rendering(self):
+        chart = ascii_chart({"NC": [1.0, 0.9, 0.8], "DF": [1.0, 0.7, 0.4]},
+                            [0.0, 0.15, 0.3], title="recovery")
+        assert chart.splitlines()[0] == "recovery"
+        assert "o=NC" in chart
+        assert "x=DF" in chart
+
+    def test_log_axes(self):
+        x = [10.0, 100.0, 1000.0]
+        chart = ascii_chart({"t": [0.01, 0.1, 1.0]}, x, log_x=True,
+                            log_y=True)
+        assert "1" in chart  # axis labels present
+
+    def test_nan_points_skipped(self):
+        chart = ascii_chart({"a": [1.0, float("nan"), 3.0]},
+                            [1.0, 2.0, 3.0])
+        assert "a" in chart
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_chart({}, [1.0])
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [1.0]}, [1.0], width=2)
+
+    def test_rejects_all_nonpositive_under_log(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [-1.0, -2.0]}, [1.0, 2.0], log_y=True)
+
+    def test_glyph_budget(self):
+        series = {f"s{i}": [float(i)] for i in range(9)}
+        with pytest.raises(ValueError):
+            ascii_chart(series, [1.0])
+
+    def test_constant_series_handled(self):
+        chart = ascii_chart({"flat": [5.0, 5.0, 5.0]}, [1.0, 2.0, 3.0])
+        assert "flat" in chart
+
+    def test_grid_dimensions(self):
+        chart = ascii_chart({"a": [1.0, 2.0]}, [0.0, 1.0], width=20,
+                            height=6)
+        body = [line for line in chart.splitlines() if "|" in line]
+        assert len(body) == 6

@@ -1,0 +1,112 @@
+"""Cross-checks of exact formulas against hand-computed references."""
+
+import numpy as np
+import pytest
+
+from repro.backbones import DisparityFilter, HighSalienceSkeleton
+from repro.community import (Partition, map_equation_codelength,
+                             one_community_partition)
+from repro.experiments.fig9_scalability import Fig9Result
+from repro.generators import generate_occupation_study
+from repro.graph import EdgeTable
+
+
+class TestDisparityClosedForm:
+    def test_integral_formulation_equivalence(self):
+        # Serrano et al. define the p-value as
+        #   1 - (k-1) * Integral_0^{w/s} (1-x)^(k-2) dx = (1 - w/s)^(k-1)
+        # Check our closed form against numerical integration.
+        k = 4  # the star's center has four incident edges
+        s = 20.0
+        weights = np.array([1.0, 4.0, 6.0, 9.0])
+        table = EdgeTable([0] * 4, [1, 2, 3, 4], weights, directed=False)
+        scored = DisparityFilter().score(table)
+        for (u, v, w), score in zip(scored.table.iter_edges(),
+                                    scored.score):
+            share = w / s
+            grid = np.linspace(0, share, 20001)
+            integral = np.trapezoid((1 - grid) ** (k - 2), grid)
+            p_manual = 1 - (k - 1) * integral
+            assert 1 - score == pytest.approx(p_manual, abs=1e-6)
+
+
+class TestMapEquationHandComputed:
+    def test_two_clique_codelength_by_hand(self):
+        # Two 2-cliques (single edges) of equal weight, partitioned
+        # perfectly: exit rates are zero, so
+        # L = sum_c p_c * H(P_c) with each module's visit rates uniform.
+        table = EdgeTable([0, 2], [1, 3], [1.0, 1.0], directed=False)
+        partition = Partition([0, 0, 1, 1])
+        # visit rates: each node 1/4; per module H = 1 bit; p_c = 1/2.
+        assert map_equation_codelength(table, partition) \
+            == pytest.approx(1.0)
+
+    def test_merged_baseline_by_hand(self):
+        table = EdgeTable([0, 2], [1, 3], [1.0, 1.0], directed=False)
+        baseline = map_equation_codelength(table,
+                                           one_community_partition(4))
+        # One module: H over four uniform visit rates = 2 bits.
+        assert baseline == pytest.approx(2.0)
+
+
+class TestHighSalienceHandComputed:
+    def test_star_salience(self):
+        # Star with center 0: every SPT contains every edge.
+        table = EdgeTable([0, 0, 0], [1, 2, 3], [1.0, 2.0, 3.0],
+                          directed=False)
+        scored = HighSalienceSkeleton().score(table)
+        assert np.allclose(scored.score, 1.0)
+
+    def test_two_triangles_with_bridge(self):
+        # Bridge edges lie on all cross trees; intra-triangle shortcuts
+        # that no SPT uses score 0.
+        edges = [(0, 1, 10.0), (1, 2, 10.0), (0, 2, 1.0),
+                 (2, 3, 10.0),
+                 (3, 4, 10.0), (4, 5, 10.0), (3, 5, 1.0)]
+        table = EdgeTable.from_pairs(edges, directed=False)
+        scored = HighSalienceSkeleton().score(table)
+        lookup = {(u, v): s for (u, v, _), s in
+                  zip(scored.table.iter_edges(), scored.score)}
+        assert lookup[(2, 3)] == pytest.approx(1.0)   # the bridge
+        assert lookup[(0, 2)] == pytest.approx(0.0)   # weak shortcut
+        assert lookup[(3, 5)] == pytest.approx(0.0)   # weak shortcut
+
+
+class TestOccupationPaperRule:
+    def test_association_rule_matches_manual_recomputation(self):
+        study = generate_occupation_study(n_occupations=40, n_skills=30,
+                                          n_major_groups=4, seed=11)
+        counts = study.skill_matrix.astype(np.int64)
+        manual = counts @ counts.T
+        np.fill_diagonal(manual, 0)
+        assert np.array_equal(study.cooccurrence.to_dense(),
+                              manual.astype(float))
+
+    def test_flows_diagonal_are_stayers(self):
+        study = generate_occupation_study(n_occupations=40, n_skills=30,
+                                          n_major_groups=4, seed=12)
+        stayers = np.diag(study.flows)
+        assert np.all(stayers >= 0)
+        assert np.allclose(stayers, np.round(study.sizes * 0.6))
+
+
+class TestFig9Exponent:
+    def test_exponent_of_exact_power_law(self):
+        edges = [1000, 2000, 4000, 8000]
+        seconds = [0.001 * (m / 1000) ** 1.14 for m in edges]
+        result = Fig9Result(edge_counts={"NC": edges},
+                            seconds={"NC": seconds})
+        assert result.exponent("NC") == pytest.approx(1.14, abs=1e-9)
+        assert result.nc_near_linear()
+
+    def test_exponent_needs_two_points(self):
+        result = Fig9Result(edge_counts={"NC": [1000]},
+                            seconds={"NC": [0.1]})
+        assert np.isnan(result.exponent("NC"))
+
+    def test_quadratic_not_near_linear(self):
+        edges = [1000, 2000, 4000, 8000]
+        seconds = [0.001 * (m / 1000) ** 2.2 for m in edges]
+        result = Fig9Result(edge_counts={"NC": edges},
+                            seconds={"NC": seconds})
+        assert not result.nc_near_linear()

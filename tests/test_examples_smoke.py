@@ -1,0 +1,64 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples are the public face of the library; these tests execute each
+script in-process (patched to smaller sizes where the full demo would
+be slow) and check the narrative output they promise.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "NC backbone (top 3 edges)" in out
+        assert "1-2" in out
+
+    def test_community_recovery(self, capsys):
+        out = run_example("community_recovery.py", capsys)
+        assert "NMI = 1.000" in out
+        assert "backbone recovers it" in out
+
+    def test_edge_significance(self, capsys):
+        out = run_example("edge_significance.py", capsys)
+        assert "confidence intervals" in out
+        assert "#1 vs #2" in out
+
+    def test_multilayer_backbone(self, capsys):
+        out = run_example("multilayer_backbone.py", capsys)
+        assert "coupled null" in out
+        assert "disagreement" in out
+
+    @pytest.mark.slow
+    def test_occupation_mobility(self, capsys):
+        out = run_example("occupation_mobility.py", capsys)
+        assert "Case study" in out
+        assert "orderings hold" in out or "All of the paper's" in out
+
+    @pytest.mark.slow
+    def test_noise_recovery(self, capsys):
+        out = run_example("noise_recovery.py", capsys)
+        assert "Jaccard recovery" in out
+
+    @pytest.mark.slow
+    def test_country_networks(self, capsys):
+        out = run_example("country_networks.py", capsys)
+        assert "trade" in out
+        assert "coverage" in out
+
+    @pytest.mark.slow
+    def test_topology_preservation(self, capsys):
+        out = run_example("topology_preservation.py", capsys)
+        assert "Topology preservation" in out
+        assert "(full network)" in out

@@ -1,0 +1,267 @@
+"""Integration tests: every experiment module runs and reproduces the
+paper's qualitative claims on reduced settings."""
+
+import numpy as np
+import pytest
+
+from repro.backbones import get_method
+from repro.experiments import (case_study, fig1_example, fig2_threshold,
+                               fig3_toy, fig4_synthetic, fig5_weights,
+                               fig6_local_correlation, fig7_topology,
+                               fig8_stability, fig9_scalability,
+                               table1_variance, table2_quality)
+
+
+class TestFig1:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_backbone_rescues_communities(self, seed):
+        result = fig1_example.run(seed=seed)
+        # Raw hairball collapses ("one giant community"), backbone
+        # recovers the planted classes.
+        assert result.communities_raw <= 2
+        assert result.nmi_backbone > 0.9
+        assert result.nmi_backbone > result.nmi_raw
+        assert result.edges_backbone < result.edges_raw / 3
+
+    def test_format(self):
+        text = fig1_example.format_result(fig1_example.run(seed=0))
+        assert "Fig. 1" in text
+        assert "NC backbone" in text
+
+
+class TestFig2:
+    def test_acceptance_monotone_in_delta(self, small_world):
+        result = fig2_threshold.run(world=small_world)
+        assert fig2_threshold.monotone_in_delta(result)
+
+    def test_histograms_are_distributions(self, small_world):
+        result = fig2_threshold.run(world=small_world)
+        for by_delta in result.histograms.values():
+            for edges, share in by_delta.values():
+                assert share.sum() == pytest.approx(1.0)
+                assert len(edges) == len(share) + 1
+
+    def test_format(self, small_world):
+        text = fig2_threshold.format_result(
+            fig2_threshold.run(world=small_world))
+        assert "delta" in text
+
+
+class TestFig3:
+    def test_nc_prefers_peripheral_edge(self):
+        result = fig3_toy.run()
+        assert result.nc_prefers_peripheral()
+
+    def test_nc_keeps_peripheral_df_does_not(self):
+        result = fig3_toy.run(budget=3)
+        assert fig3_toy.PERIPHERAL_EDGE in result.nc_kept
+        assert fig3_toy.PERIPHERAL_EDGE not in result.df_kept
+
+    def test_df_favours_hub_spokes(self):
+        result = fig3_toy.run(budget=3)
+        hub_edges_df = sum(1 for (u, v) in result.df_kept if u == 0)
+        assert hub_edges_df == 3
+
+    def test_format(self):
+        text = fig3_toy.format_result(fig3_toy.run())
+        assert "NC keeps" in text and "DF keeps" in text
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        methods = [get_method(code) for code in ("NT", "DF", "NC")]
+        return fig4_synthetic.run(n_nodes=80, repetitions=2,
+                                  etas=(0.0, 0.15, 0.3), seed=1,
+                                  methods=methods)
+
+    def test_nc_wins_at_high_noise(self, result):
+        assert result.best_at_high_noise() == "NC"
+
+    def test_low_noise_all_methods_excellent(self, result):
+        for code in ("NT", "DF", "NC"):
+            assert result.series[code][0] > 0.9
+
+    def test_recovery_degrades_with_noise(self, result):
+        for code in ("NT", "DF"):
+            values = result.series[code]
+            assert values[0] > values[-1]
+
+    def test_format(self, result):
+        text = fig4_synthetic.format_result(result)
+        assert "eta" in text and "NC" in text
+
+
+class TestFig5:
+    def test_broad_distributions(self, small_world):
+        result = fig5_weights.run(world=small_world)
+        assert result.broad_distributions()
+
+    def test_ccdf_series_valid(self, small_world):
+        result = fig5_weights.run(world=small_world)
+        for x, share in result.ccdf.values():
+            assert share[0] == pytest.approx(1.0)
+            assert np.all(np.diff(share) < 0)
+
+    def test_format(self, small_world):
+        text = fig5_weights.format_result(fig5_weights.run(small_world))
+        assert "orders of magnitude" in text
+
+
+class TestFig6:
+    def test_local_correlations_positive(self, small_world):
+        result = fig6_local_correlation.run(world=small_world)
+        assert result.all_positive()
+
+    def test_format(self, small_world):
+        text = fig6_local_correlation.format_result(
+            fig6_local_correlation.run(world=small_world))
+        assert "paper range" in text
+
+
+class TestTable1:
+    def test_all_positive_significant(self, small_world):
+        result = table1_variance.run(world=small_world)
+        assert result.all_positive_and_significant()
+
+    def test_covers_all_networks(self, small_world):
+        result = table1_variance.run(world=small_world)
+        assert set(result.correlations) == set(
+            small_world.network_names())
+
+    def test_format(self, small_world):
+        text = table1_variance.format_result(
+            table1_variance.run(world=small_world))
+        assert "Table I" in text
+
+
+@pytest.fixture(scope="module")
+def fast_methods():
+    return [get_method(code) for code in ("NT", "MST", "DF", "NC")]
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self, small_world):
+        methods = [get_method(code) for code in ("NT", "MST", "DF", "NC")]
+        return fig7_topology.run(world=small_world,
+                                 shares=(0.05, 0.2, 0.5, 1.0),
+                                 networks=("trade", "ownership"),
+                                 methods=methods)
+
+    def test_coverage_bounded(self, result):
+        for by_method in result.sweeps.values():
+            for sweep in by_method.values():
+                assert all(0.0 <= value <= 1.0 for value in sweep.values)
+
+    def test_full_share_full_coverage(self, result):
+        for name in result.sweeps:
+            for code in ("NT", "DF", "NC"):
+                assert result.coverage_at(name, code, 1.0) \
+                    == pytest.approx(1.0)
+
+    def test_mst_always_covers(self, result):
+        for name in result.sweeps:
+            assert result.coverage_at(name, "MST", 0.0) \
+                == pytest.approx(1.0)
+
+    def test_nc_not_worse_than_naive(self, result):
+        # The paper's critical-failure check, on the strictest share.
+        for name in result.sweeps:
+            nc = result.coverage_at(name, "NC", 0.05)
+            nt = result.coverage_at(name, "NT", 0.05)
+            assert nc >= nt - 0.02
+
+    def test_format(self, result):
+        text = fig7_topology.format_result(result)
+        assert "coverage" in text
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self, small_world):
+        methods = [get_method(code) for code in ("NT", "DF", "NC")]
+        return fig8_stability.run(world=small_world,
+                                  shares=(0.1, 0.5, 1.0),
+                                  networks=("migration", "trade"),
+                                  methods=methods)
+
+    def test_all_backbones_stable(self, result):
+        assert result.minimum_stability() > 0.5
+
+    def test_format(self, result):
+        assert "stability" in fig8_stability.format_result(result)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self, small_world):
+        methods = [get_method(code) for code in
+                   ("NT", "MST", "DS", "DF", "NC")]
+        return table2_quality.run(world=small_world, methods=methods,
+                                  budget_share=0.15)
+
+    def test_nc_above_one_everywhere(self, result):
+        assert result.nc_always_above_one()
+
+    def test_nc_best_among_budgeted(self, result):
+        assert result.nc_best_among_budgeted()
+
+    def test_nc_beats_naive_everywhere(self, result):
+        for by_method in result.ratios.values():
+            assert by_method["NC"] > by_method["NT"]
+
+    def test_format(self, result):
+        text = table2_quality.format_result(result)
+        assert "Table II" in text and "paper NC" in text
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig9_scalability.run(fast_sizes=(500, 2000, 8000),
+                                    slow_sizes=(100, 200), repeats=1,
+                                    seed=0)
+
+    def test_all_methods_timed(self, result):
+        for code in ("NT", "MST", "DF", "NC", "DS", "HSS"):
+            assert all(t > 0 for t in result.seconds[code])
+
+    def test_nc_exponent_finite(self, result):
+        assert np.isfinite(result.exponent("NC"))
+
+    def test_hss_slower_than_nc(self, result):
+        # At comparable edge counts HSS must be far slower than NC
+        # (paper: HSS/DS could not run beyond a few thousand edges).
+        hss_time = result.seconds["HSS"][-1]
+        hss_edges = result.edge_counts["HSS"][-1]
+        nc_per_edge = result.seconds["NC"][0] / result.edge_counts["NC"][0]
+        assert hss_time > 3 * nc_per_edge * hss_edges
+
+    def test_format(self, result):
+        assert "scaling exponents" in fig9_scalability.format_result(
+            result)
+
+
+class TestCaseStudy:
+    @pytest.fixture(scope="class")
+    def result(self, small_study):
+        return case_study.run(study=small_study, seed=0)
+
+    def test_orderings_hold(self, result):
+        assert result.orderings_hold()
+
+    def test_flow_correlations_ordered(self, result):
+        assert result.flow_correlation_full < result.df.flow_correlation
+        assert result.df.flow_correlation < result.nc.flow_correlation
+
+    def test_backbones_matched(self, result):
+        assert result.nc.n_edges == result.df.n_edges
+
+    def test_infomap_compression_positive(self, result):
+        assert result.nc.infomap_compression > 0
+        assert result.df.infomap_compression >= 0
+
+    def test_format(self, result):
+        text = case_study.format_result(result)
+        assert "Case study" in text and "flow correlation" in text

@@ -1,0 +1,72 @@
+"""Tests for the report helpers and paper reference constants."""
+
+import pytest
+
+from repro.experiments import report
+from repro.experiments.runner import FullReport
+from repro.generators.world import NETWORK_NAMES
+
+
+class TestPaperConstants:
+    def test_table1_covers_all_networks(self):
+        assert set(report.PAPER_TABLE1) == set(NETWORK_NAMES)
+
+    def test_table2_covers_all_networks_and_methods(self):
+        assert set(report.PAPER_TABLE2) == set(NETWORK_NAMES)
+        for by_method in report.PAPER_TABLE2.values():
+            assert set(by_method) == {"DS", "NT", "DF", "HSS", "MST",
+                                      "NC"}
+
+    def test_paper_nc_wins_table2(self):
+        # Transcription sanity: in the paper NC is best in every column.
+        for name, by_method in report.PAPER_TABLE2.items():
+            best = report.mark_best(by_method)
+            assert best == "NC", name
+
+    def test_paper_nc_above_one_everywhere(self):
+        for by_method in report.PAPER_TABLE2.values():
+            assert by_method["NC"] > 1.0
+
+    def test_case_study_orderings_in_constants(self):
+        constants = report.PAPER_CASE_STUDY
+        assert constants["flow_correlation_full"] \
+            < constants["flow_correlation_df"] \
+            < constants["flow_correlation_nc"]
+        assert constants["infomap_compression_nc"] \
+            > constants["infomap_compression_df"]
+        assert constants["modularity_two_digit_nc"] \
+            > constants["modularity_two_digit_df"]
+        assert constants["nmi_two_digit_nc"] \
+            > constants["nmi_two_digit_df"]
+
+    def test_fig6_range_ordered(self):
+        low, high = report.PAPER_FIG6_RANGE
+        assert low < high
+
+
+class TestHelpers:
+    def test_mark_best_skips_none_and_nan(self):
+        values = {"a": None, "b": float("nan"), "c": 0.5, "d": 0.9}
+        assert report.mark_best(values) == "d"
+
+    def test_mark_best_all_missing(self):
+        assert report.mark_best({"a": None}) == "-"
+
+    def test_comparison_table_renders(self):
+        text = report.comparison_table("T", [["x", 1.0]], ["name", "v"])
+        assert "T" in text and "1.0000" in text
+
+    def test_series_table_renders(self):
+        text = report.series_table("S", "x", [1, 2],
+                                   {"a": [0.1, 0.2]})
+        assert "S" in text
+        assert "0.2000" in text
+
+
+class TestFullReport:
+    def test_text_concatenates_sections(self):
+        full = FullReport(results={"a": 1},
+                          sections={"a": "SECTION A", "b": "SECTION B"})
+        text = full.text()
+        assert "Reproduction report" in text
+        assert text.index("SECTION A") < text.index("SECTION B")

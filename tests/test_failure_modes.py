@@ -1,0 +1,120 @@
+"""Failure-injection tests: every method degrades cleanly, never cryptically.
+
+The guarantee under test: on degenerate inputs (empty networks,
+single edges, all-equal weights, zero weights, self-loop-only graphs,
+extreme magnitudes) each backbone method either produces a valid result
+or raises a *library* exception (``ValueError`` /
+``SinkhornConvergenceError``) — never an unexplained numpy error, NaN
+score, or silent corruption.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backbones import (SinkhornConvergenceError, get_method,
+                             method_codes)
+from repro.core import NoiseCorrectedBackbone
+from repro.graph import EdgeTable
+
+ALL_CODES = method_codes()
+
+
+def degenerate_tables():
+    """Named degenerate inputs (self-loop-free cases)."""
+    return {
+        "single_edge": EdgeTable([0], [1], [5.0], directed=False),
+        "two_disjoint_edges": EdgeTable([0, 2], [1, 3], [5.0, 7.0],
+                                        n_nodes=4, directed=False),
+        "all_equal_weights": EdgeTable([0, 1, 2, 3], [1, 2, 3, 0],
+                                       [3.0] * 4, directed=False),
+        "zero_weight_edges": EdgeTable([0, 1, 2], [1, 2, 0],
+                                       [0.0, 5.0, 3.0], directed=False),
+        "huge_weights": EdgeTable([0, 1, 2], [1, 2, 0],
+                                  [1e12, 2e12, 3e12], directed=False),
+        "tiny_weights": EdgeTable([0, 1, 2], [1, 2, 0],
+                                  [1e-9, 2e-9, 3e-9], directed=False),
+        "star": EdgeTable([0, 0, 0, 0], [1, 2, 3, 4], [1.0, 2.0, 3.0, 4.0],
+                          directed=False),
+        "directed_cycle": EdgeTable([0, 1, 2], [1, 2, 0], [1.0, 2.0, 3.0],
+                                    directed=True),
+        "isolated_nodes_padding": EdgeTable([0], [1], [2.0], n_nodes=10,
+                                            directed=False),
+    }
+
+
+class TestDegenerateInputs:
+    @pytest.mark.parametrize("code", ALL_CODES)
+    @pytest.mark.parametrize("name", sorted(degenerate_tables()))
+    def test_score_clean_or_library_error(self, code, name):
+        table = degenerate_tables()[name]
+        method = get_method(code)
+        try:
+            scored = method.score(table)
+        except (ValueError, SinkhornConvergenceError):
+            return  # a clean, documented refusal
+        assert scored.m == len(scored.score)
+        assert np.all(np.isfinite(scored.score)), (code, name)
+        if scored.sdev is not None:
+            assert np.all(np.isfinite(scored.sdev)), (code, name)
+
+    @pytest.mark.parametrize("code", ALL_CODES)
+    def test_empty_network_rejected(self, code):
+        method = get_method(code)
+        with pytest.raises(ValueError):
+            method.score(EdgeTable((), (), ()))
+
+    @pytest.mark.parametrize("code", ALL_CODES)
+    def test_self_loops_only_rejected(self, code):
+        table = EdgeTable([0, 1], [0, 1], [1.0, 2.0])
+        method = get_method(code)
+        # Stripping self-loops leaves nothing scoreable: the library
+        # either raises cleanly or returns an empty scored set.
+        try:
+            scored = method.score(table)
+        except (ValueError, SinkhornConvergenceError):
+            return
+        assert scored.m == 0
+
+    def test_nc_single_edge_falls_back(self):
+        # One edge means degenerate marginals: the posterior falls back
+        # to the clipped plug-in and the edge scores 0 (lift exactly 1).
+        table = EdgeTable([0], [1], [5.0], directed=False)
+        scored = NoiseCorrectedBackbone().score(table)
+        assert np.isfinite(scored.score[0])
+        assert np.isfinite(scored.sdev[0])
+
+    def test_nc_all_weights_zero_refused(self):
+        # With zero total interactions there is nothing to model: NC
+        # refuses with a clear error rather than emitting NaN scores.
+        table = EdgeTable([0, 1, 2], [1, 2, 0], [0.0, 0.0, 0.0],
+                          directed=False)
+        with pytest.raises(ValueError):
+            NoiseCorrectedBackbone().score(table)
+
+
+class TestInputValidationAtTheEdge:
+    def test_nan_weight_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            EdgeTable([0], [1], [float("nan")])
+
+    def test_inf_weight_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            EdgeTable([0], [1], [float("inf")])
+
+    def test_float_indices_must_be_integral(self):
+        with pytest.raises(ValueError):
+            EdgeTable([0.5], [1], [1.0])
+
+    def test_integral_float_indices_accepted(self):
+        table = EdgeTable([0.0], [1.0], [1.0])
+        assert table.src.dtype == np.int64
+
+    def test_extract_with_absurd_share(self):
+        table = EdgeTable([0, 1], [1, 2], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            get_method("NT").extract(table, share=1.5)
+
+    def test_extract_with_oversized_budget_clamped(self):
+        table = EdgeTable([0, 1], [1, 2], [1.0, 2.0])
+        backbone = get_method("NT").extract(table, n_edges=99)
+        assert backbone.m == 2

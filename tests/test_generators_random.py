@@ -1,0 +1,192 @@
+"""Tests for random-graph generators, the noise model and seeds."""
+
+import numpy as np
+import pytest
+
+from repro.generators import (add_noise, average_degree_edges,
+                              barabasi_albert, erdos_renyi_gnm,
+                              erdos_renyi_gnp, make_rng, planted_partition,
+                              spawn_rngs)
+from repro.graph import is_connected, jaccard_edge_similarity
+
+
+class TestSeeds:
+    def test_make_rng_from_int_deterministic(self):
+        assert make_rng(7).integers(1000) == make_rng(7).integers(1000)
+
+    def test_make_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert make_rng(rng) is rng
+
+    def test_spawn_rngs_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.integers(10 ** 9) != b.integers(10 ** 9)
+
+    def test_spawn_rngs_deterministic(self):
+        first = [r.integers(10 ** 9) for r in spawn_rngs(1, 3)]
+        second = [r.integers(10 ** 9) for r in spawn_rngs(1, 3)]
+        assert first == second
+
+    def test_spawn_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestErdosRenyi:
+    def test_gnm_exact_edge_count(self):
+        table = erdos_renyi_gnm(100, 150, seed=0)
+        assert table.m == 150
+        assert table.n_nodes == 100
+
+    def test_gnm_no_self_loops_or_duplicates(self):
+        table = erdos_renyi_gnm(50, 200, seed=1)
+        assert np.all(table.src != table.dst)
+        assert len(table.edge_key_set()) == 200
+
+    def test_gnm_weight_range(self):
+        table = erdos_renyi_gnm(30, 40, seed=2, weight_range=(5.0, 6.0))
+        assert table.weight.min() >= 5.0
+        assert table.weight.max() <= 6.0
+
+    def test_gnm_directed(self):
+        table = erdos_renyi_gnm(30, 60, seed=3, directed=True)
+        assert table.directed
+        assert table.m == 60
+
+    def test_gnm_rejects_impossible_budget(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_gnm(5, 100, seed=0)
+
+    def test_gnm_deterministic(self):
+        a = erdos_renyi_gnm(40, 60, seed=9)
+        b = erdos_renyi_gnm(40, 60, seed=9)
+        assert a == b
+
+    def test_gnp_edge_fraction(self):
+        table = erdos_renyi_gnp(80, 0.3, seed=4)
+        possible = 80 * 79 / 2
+        assert table.m == pytest.approx(0.3 * possible, rel=0.15)
+
+    def test_gnp_extremes(self):
+        assert erdos_renyi_gnp(10, 0.0, seed=0).m == 0
+        assert erdos_renyi_gnp(10, 1.0, seed=0).m == 45
+
+    def test_average_degree_edges(self):
+        assert average_degree_edges(200, 3.0) == 300
+        assert average_degree_edges(101, 3.0) == round(101 * 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_node_and_edge_counts(self):
+        table = barabasi_albert(200, 1.5, seed=0)
+        assert table.n_nodes == 200
+        # Average degree ~ 2m = 3.
+        assert table.degree().mean() == pytest.approx(3.0, abs=0.4)
+
+    def test_integer_m(self):
+        table = barabasi_albert(150, 2, seed=1)
+        assert table.degree().mean() == pytest.approx(4.0, abs=0.5)
+
+    def test_connected(self):
+        assert is_connected(barabasi_albert(100, 1.5, seed=2))
+
+    def test_heavy_tail(self):
+        # Preferential attachment must produce hubs: the maximum degree
+        # far exceeds the mean.
+        table = barabasi_albert(500, 1.5, seed=3)
+        degrees = table.degree()
+        assert degrees.max() > 5 * degrees.mean()
+
+    def test_deterministic(self):
+        assert barabasi_albert(80, 1.5, seed=5) == \
+            barabasi_albert(80, 1.5, seed=5)
+
+    def test_invalid_m_rejected(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(10, 0.5)
+        with pytest.raises(ValueError):
+            barabasi_albert(10, 20)
+
+
+class TestNoiseModel:
+    def make_noisy(self, eta, seed=0):
+        truth = barabasi_albert(100, 1.5, seed=seed)
+        return add_noise(truth, eta, seed=seed + 1)
+
+    def test_observed_is_complete(self):
+        noisy = self.make_noisy(0.2)
+        assert noisy.observed.m == 100 * 99 // 2
+
+    def test_true_edges_heavier_within_pair_scale(self):
+        # For each pair, weight / (k_i + k_j) lies in (eta, 1) for true
+        # edges and (0, eta) for noise edges.
+        noisy = self.make_noisy(0.3, seed=2)
+        degrees = noisy.truth.degree().astype(float)
+        true_keys = noisy.truth.edge_key_set()
+        scale = degrees[noisy.observed.src] + degrees[noisy.observed.dst]
+        ratio = noisy.observed.weight / scale
+        for (u, v, _), r in zip(noisy.observed.iter_edges(), ratio):
+            if (u, v) in true_keys:
+                assert 0.3 <= r <= 1.0
+            else:
+                assert 0.0 <= r <= 0.3
+
+    def test_zero_eta_makes_noise_vanish(self):
+        noisy = self.make_noisy(0.0, seed=3)
+        true_keys = noisy.truth.edge_key_set()
+        noise_mask = np.array([(u, v) not in true_keys
+                               for u, v, _ in noisy.observed.iter_edges()])
+        assert noisy.observed.weight[noise_mask].max() == 0.0
+
+    def test_naive_recovers_truth_at_zero_eta(self):
+        from repro.backbones import NaiveThreshold
+
+        noisy = self.make_noisy(0.0, seed=4)
+        backbone = NaiveThreshold().extract(noisy.observed,
+                                            n_edges=noisy.n_true_edges)
+        assert jaccard_edge_similarity(backbone, noisy.truth) == 1.0
+
+    def test_directed_truth_rejected(self):
+        from repro.graph import EdgeTable
+
+        with pytest.raises(ValueError):
+            add_noise(EdgeTable([0], [1], [1.0], directed=True), 0.1)
+
+    def test_invalid_eta_rejected(self):
+        truth = barabasi_albert(20, 1.5, seed=0)
+        with pytest.raises(ValueError):
+            add_noise(truth, 1.5)
+
+
+class TestPlantedPartition:
+    def test_labels_cover_communities(self):
+        planted = planted_partition(n_nodes=60, n_communities=4, seed=0)
+        assert planted.n_communities <= 4
+        assert len(planted.labels) == 60
+
+    def test_near_complete_density(self):
+        planted = planted_partition(seed=1)
+        possible = 151 * 150 / 2
+        assert planted.table.m > 0.9 * possible
+
+    def test_within_community_weights_heavier(self):
+        planted = planted_partition(n_nodes=80, n_communities=4,
+                                    within_rate=20.0, between_rate=1.0,
+                                    noise_rate=2.0, seed=2)
+        same = planted.labels[planted.table.src] \
+            == planted.labels[planted.table.dst]
+        mean_within = planted.table.weight[same].mean()
+        mean_between = planted.table.weight[~same].mean()
+        assert mean_within > 3 * mean_between
+
+    def test_deterministic(self):
+        a = planted_partition(seed=5)
+        b = planted_partition(seed=5)
+        assert a.table == b.table
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            planted_partition(n_nodes=10, n_communities=20)
+        with pytest.raises(ValueError):
+            planted_partition(within_rate=-1.0)

@@ -1,0 +1,205 @@
+"""Tests for the gravity SyntheticWorld and the occupation case study."""
+
+import numpy as np
+import pytest
+
+from repro.generators import (NETWORK_NAMES, SyntheticWorld,
+                              generate_occupation_study, haversine_matrix)
+from repro.stats import log_log_pearson, pearson, spearman
+from repro.graph import neighbor_weight_profile
+
+
+@pytest.fixture(scope="module")
+def world():
+    return SyntheticWorld(n_countries=60, n_years=3, seed=11,
+                          n_products=200)
+
+
+class TestHaversine:
+    def test_zero_diagonal(self):
+        lat = np.array([0.0, 45.0, -30.0])
+        lon = np.array([0.0, 90.0, 10.0])
+        d = haversine_matrix(lat, lon)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_symmetry(self):
+        lat = np.array([10.0, 50.0])
+        lon = np.array([20.0, -70.0])
+        d = haversine_matrix(lat, lon)
+        assert d[0, 1] == pytest.approx(d[1, 0])
+
+    def test_quarter_circumference(self):
+        # Pole to equator is a quarter of the great circle.
+        d = haversine_matrix(np.array([90.0, 0.0]), np.array([0.0, 0.0]))
+        assert d[0, 1] == pytest.approx(np.pi / 2 * 6371.0, rel=1e-6)
+
+    def test_antipodes(self):
+        d = haversine_matrix(np.array([0.0, 0.0]), np.array([0.0, 180.0]))
+        assert d[0, 1] == pytest.approx(np.pi * 6371.0, rel=1e-6)
+
+
+class TestWorldStructure:
+    def test_all_networks_present(self, world):
+        assert world.network_names() == NETWORK_NAMES
+        for name in NETWORK_NAMES:
+            table = world.network(name, 0)
+            assert table.m > 0
+            assert table.n_nodes == 60
+
+    def test_directedness_matches_spec(self, world):
+        assert world.network("trade").directed
+        assert world.network("migration").directed
+        assert not world.network("country_space").directed
+
+    def test_years_distinct_but_similar(self, world):
+        years = world.years("trade")
+        assert len(years) == 3
+        w0 = years[0].to_dense().ravel()
+        w1 = years[1].to_dense().ravel()
+        assert not np.array_equal(w0, w1)
+        assert spearman(w0, w1) > 0.8
+
+    def test_deterministic_in_seed(self):
+        a = SyntheticWorld(n_countries=30, n_years=2, seed=5,
+                           n_products=50)
+        b = SyntheticWorld(n_countries=30, n_years=2, seed=5,
+                           n_products=50)
+        for name in NETWORK_NAMES:
+            assert a.network(name, 1) == b.network(name, 1)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticWorld(n_countries=30, n_years=1, seed=1,
+                           n_products=50)
+        b = SyntheticWorld(n_countries=30, n_years=1, seed=2,
+                           n_products=50)
+        assert a.network("trade", 0) != b.network("trade", 0)
+
+    def test_year_out_of_range(self, world):
+        with pytest.raises(ValueError):
+            world.network("trade", 99)
+
+    def test_unknown_network(self, world):
+        with pytest.raises(ValueError):
+            world.network("banking")
+
+    def test_no_self_loops(self, world):
+        for name in NETWORK_NAMES:
+            table = world.network(name)
+            assert np.all(table.src != table.dst)
+
+    def test_labels_attached(self, world):
+        table = world.network("trade")
+        assert table.labels is not None
+        assert len(table.labels) == 60
+
+
+class TestWorldStatisticalProperties:
+    def test_broad_weight_distribution(self, world):
+        # Paper Fig. 5: weights span several orders of magnitude
+        # (Country Space being the narrow exception).
+        for name in ("business", "flight", "migration", "ownership",
+                     "trade"):
+            weight = world.network(name).weight
+            spread = np.log10(weight.max()) - np.log10(weight.min())
+            assert spread > 2.5, name
+
+    def test_local_weight_correlation(self, world):
+        # Paper Fig. 6: log-log correlation between an edge's weight and
+        # its neighbors' average weight, in the 0.4-0.8 band.
+        for name in NETWORK_NAMES:
+            profile = neighbor_weight_profile(world.network(name))
+            rho = log_log_pearson(profile["weight"],
+                                  profile["neighbor_avg"])
+            assert rho > 0.25, name
+
+    def test_latent_intensity_predicts_observed(self, world):
+        for name in ("trade", "migration"):
+            latent = world.latent_intensity(name).ravel()
+            observed = world.dense_weights(name).ravel()
+            assert pearson(latent, observed) > 0.9, name
+
+    def test_gravity_covariates_explain_trade(self, world):
+        # log weight should fall with distance and rise with GDP.
+        from repro.stats import ols
+
+        table = world.network("trade")
+        cov = world.covariates
+        y = np.log1p(table.weight)
+        distance = cov.distance_km[table.src, table.dst]
+        gdp = cov.gdp
+        X = np.column_stack([np.log(distance + 50.0),
+                             np.log(gdp[table.src]),
+                             np.log(gdp[table.dst])])
+        fit = ols(y, X, names=["dist", "gdp_o", "gdp_d"])
+        assert fit.coefficient("dist") < 0
+        assert fit.coefficient("gdp_o") > 0
+        assert fit.r_squared > 0.3
+
+    def test_fdi_correlates_with_ownership(self, world):
+        ownership = world.dense_weights("ownership").ravel()
+        fdi = world.covariates.fdi.ravel()
+        assert log_log_pearson(ownership + 1, fdi + 1) > 0.5
+
+    def test_country_space_narrow_distribution(self, world):
+        weight = world.network("country_space").weight
+        spread = np.log10(weight.max()) - np.log10(max(weight.min(), 1))
+        assert spread < 3.0
+
+
+class TestOccupationStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return generate_occupation_study(n_occupations=80, n_skills=60,
+                                         n_major_groups=5, seed=3)
+
+    def test_shapes(self, study):
+        assert study.n_occupations == 80
+        assert study.flows.shape == (80, 80)
+        assert study.skill_matrix.shape == (80, 60)
+        assert len(study.major_group) == 80
+
+    def test_cooccurrence_dense_and_undirected(self, study):
+        assert not study.cooccurrence.directed
+        possible = 80 * 79 / 2
+        assert study.cooccurrence.m > 0.7 * possible
+
+    def test_two_digit_nested_in_major(self, study):
+        assert np.array_equal(study.two_digit // 3, study.major_group)
+
+    def test_within_group_similarity_higher(self, study):
+        same = study.major_group[:, None] == study.major_group[None, :]
+        np.fill_diagonal(same, False)
+        off_diag = ~np.eye(80, dtype=bool)
+        within = study.true_similarity[same].mean()
+        between = study.true_similarity[off_diag & ~same].mean()
+        assert within > between + 0.2
+
+    def test_flows_rise_with_similarity(self, study):
+        src, dst = study.flow_pairs()
+        flows = study.flows[src, dst]
+        similarity = study.true_similarity[src, dst]
+        assert spearman(flows, similarity) > 0.1
+
+    def test_cooccurrence_tracks_similarity(self, study):
+        src, dst = study.flow_pairs()
+        keep = src < dst
+        # Skill-breadth heterogeneity deliberately dilutes the raw
+        # counts-vs-similarity correlation (that's the noise backbones
+        # must cut through), so the bar here is moderate.
+        counts = study.cooccurrence.to_dense()[src[keep], dst[keep]]
+        similarity = study.true_similarity[src[keep], dst[keep]]
+        assert pearson(counts, similarity) > 0.25
+
+    def test_deterministic(self):
+        a = generate_occupation_study(n_occupations=40, n_skills=30,
+                                      n_major_groups=4, seed=9)
+        b = generate_occupation_study(n_occupations=40, n_skills=30,
+                                      n_major_groups=4, seed=9)
+        assert a.cooccurrence == b.cooccurrence
+        assert np.array_equal(a.flows, b.flows)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            generate_occupation_study(n_occupations=10)
+        with pytest.raises(ValueError):
+            generate_occupation_study(n_major_groups=1)

@@ -1,0 +1,159 @@
+"""Tests for graph metrics and CSV IO."""
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.graph import (EdgeTable, average_clustering, average_degree,
+                         clustering_coefficient, degree_histogram, density,
+                         jaccard_edge_similarity, neighbor_weight_profile,
+                         read_edge_csv, write_edge_csv)
+
+
+class TestDensityAndDegrees:
+    def test_density_directed(self):
+        table = EdgeTable([0, 1], [1, 0], [1.0, 1.0], n_nodes=3)
+        assert density(table) == pytest.approx(2 / 6)
+
+    def test_density_undirected(self):
+        table = EdgeTable([0], [1], [1.0], n_nodes=3, directed=False)
+        assert density(table) == pytest.approx(1 / 3)
+
+    def test_density_ignores_self_loops(self):
+        table = EdgeTable([0, 0], [0, 1], [1.0, 1.0], n_nodes=3)
+        assert density(table) == pytest.approx(1 / 6)
+
+    def test_density_trivial(self):
+        assert density(EdgeTable((), (), (), n_nodes=1)) == 0.0
+
+    def test_average_degree(self):
+        table = EdgeTable([0], [1], [1.0], n_nodes=4, directed=False)
+        assert average_degree(table) == pytest.approx(0.5)
+
+    def test_degree_histogram(self):
+        table = EdgeTable([0, 0], [1, 2], [1.0, 1.0], directed=False)
+        hist = degree_histogram(table)
+        assert hist.tolist() == [0, 2, 1]
+
+
+class TestJaccard:
+    def test_identical_tables(self):
+        table = EdgeTable([0, 1], [1, 2], [1.0, 2.0])
+        assert jaccard_edge_similarity(table, table) == 1.0
+
+    def test_disjoint_tables(self):
+        a = EdgeTable([0], [1], [1.0], n_nodes=4)
+        b = EdgeTable([2], [3], [1.0], n_nodes=4)
+        assert jaccard_edge_similarity(a, b) == 0.0
+
+    def test_partial_overlap(self):
+        a = EdgeTable([0, 1], [1, 2], [1.0, 1.0])
+        b = EdgeTable([0, 2], [1, 0], [1.0, 1.0])
+        # Pairs a={01,12}, b={01,20}: intersection 1, union 3.
+        assert jaccard_edge_similarity(a, b) == pytest.approx(1 / 3)
+
+    def test_mixed_directedness_compares_pairs(self):
+        directed = EdgeTable([1], [0], [1.0], directed=True)
+        undirected = EdgeTable([0], [1], [1.0], directed=False)
+        assert jaccard_edge_similarity(directed, undirected) == 1.0
+
+    def test_empty_tables_are_identical(self):
+        empty = EdgeTable((), (), ())
+        assert jaccard_edge_similarity(empty, empty) == 1.0
+
+    def test_weights_do_not_matter(self):
+        a = EdgeTable([0], [1], [1.0])
+        b = EdgeTable([0], [1], [9.0])
+        assert jaccard_edge_similarity(a, b) == 1.0
+
+
+class TestClustering:
+    def test_triangle_is_fully_clustered(self):
+        table = EdgeTable([0, 1, 2], [1, 2, 0], [1.0] * 3, directed=False)
+        assert average_clustering(table) == pytest.approx(1.0)
+
+    def test_star_has_zero_clustering(self):
+        table = EdgeTable([0, 0, 0], [1, 2, 3], [1.0] * 3, directed=False)
+        assert average_clustering(table) == pytest.approx(0.0)
+
+    def test_matches_networkx(self):
+        rng = np.random.default_rng(5)
+        n = 18
+        src = rng.integers(0, n, 45)
+        dst = rng.integers(0, n, 45)
+        table = EdgeTable(src, dst, np.ones(45), n_nodes=n, directed=False)
+        table = table.without_self_loops()
+        ours = clustering_coefficient(table)
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from(zip(table.src.tolist(), table.dst.tolist()))
+        theirs = nx.clustering(g)
+        for node in range(n):
+            assert ours[node] == pytest.approx(theirs[node])
+
+
+class TestNeighborWeightProfile:
+    def test_profile_excludes_own_weight(self):
+        # Path 0-1-2 with weights 2 and 6: for edge (0,1) the only
+        # neighboring edge is (1,2) with weight 6.
+        table = EdgeTable([0, 1], [1, 2], [2.0, 6.0], directed=False)
+        profile = neighbor_weight_profile(table)
+        lookup = dict(zip(profile["weight"].tolist(),
+                          profile["neighbor_avg"].tolist()))
+        assert lookup[2.0] == pytest.approx(6.0)
+        assert lookup[6.0] == pytest.approx(2.0)
+
+    def test_isolated_edge_dropped(self):
+        table = EdgeTable([0], [1], [5.0], directed=False)
+        profile = neighbor_weight_profile(table)
+        assert len(profile["weight"]) == 0
+
+    def test_star_center_average(self):
+        table = EdgeTable([0, 0, 0], [1, 2, 3], [1.0, 2.0, 3.0],
+                          directed=False)
+        profile = neighbor_weight_profile(table)
+        lookup = dict(zip(profile["weight"].tolist(),
+                          profile["neighbor_avg"].tolist()))
+        assert lookup[1.0] == pytest.approx(2.5)
+        assert lookup[3.0] == pytest.approx(1.5)
+
+
+class TestCsvIo:
+    def test_round_trip_unlabeled(self, tmp_path):
+        table = EdgeTable([0, 1], [1, 2], [1.5, 2.5])
+        path = tmp_path / "edges.csv"
+        write_edge_csv(table, path)
+        again = read_edge_csv(path, directed=True)
+        assert again == table
+
+    def test_round_trip_labeled(self, tmp_path):
+        table = EdgeTable([0, 1], [1, 2], [1.0, 2.0],
+                          labels=["usa", "deu", "jpn"])
+        path = tmp_path / "edges.csv"
+        write_edge_csv(table, path)
+        again = read_edge_csv(path, directed=True,
+                              labels=["usa", "deu", "jpn"])
+        assert again == table
+        assert again.labels == ("usa", "deu", "jpn")
+
+    def test_read_infers_labels_first_seen(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        path.write_text("src,dst,weight\nb,a,1.0\na,c,2.0\n")
+        table = read_edge_csv(path, directed=True)
+        assert table.labels == ("b", "a", "c")
+        assert table.m == 2
+
+    def test_read_empty_file(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        path.write_text("")
+        table = read_edge_csv(path)
+        assert table.m == 0
+
+    def test_weights_survive_exactly(self, tmp_path):
+        weight = 1.0 / 3.0
+        table = EdgeTable([0], [1], [weight])
+        path = tmp_path / "edges.csv"
+        write_edge_csv(table, path)
+        again = read_edge_csv(path)
+        assert again.weight[0] == weight

@@ -1,0 +1,228 @@
+"""Tests for union-find, adjacency graph, components and paths."""
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.graph import (EdgeTable, Graph, UnionFind, all_pairs_distances,
+                         bfs_order, component_sizes, connected_components,
+                         dijkstra, giant_component_mask, is_connected,
+                         shortest_path_tree)
+
+
+class TestUnionFind:
+    def test_initial_components(self):
+        ds = UnionFind(5)
+        assert ds.n_components == 5
+
+    def test_union_reduces_components(self):
+        ds = UnionFind(4)
+        assert ds.union(0, 1)
+        assert ds.n_components == 3
+
+    def test_union_idempotent(self):
+        ds = UnionFind(4)
+        ds.union(0, 1)
+        assert not ds.union(1, 0)
+        assert ds.n_components == 3
+
+    def test_connected_transitivity(self):
+        ds = UnionFind(5)
+        ds.union(0, 1)
+        ds.union(1, 2)
+        assert ds.connected(0, 2)
+        assert not ds.connected(0, 3)
+
+    def test_component_labels_dense(self):
+        ds = UnionFind(5)
+        ds.union(0, 4)
+        ds.union(1, 2)
+        labels = ds.component_labels()
+        assert labels[0] == labels[4]
+        assert labels[1] == labels[2]
+        assert len(set(labels.tolist())) == 3
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_large_chain_path_compression(self):
+        n = 2000
+        ds = UnionFind(n)
+        for i in range(n - 1):
+            ds.union(i, i + 1)
+        assert ds.n_components == 1
+        assert ds.connected(0, n - 1)
+
+
+class TestGraphAdjacency:
+    def test_undirected_arcs_doubled(self):
+        table = EdgeTable([0, 1], [1, 2], [1.0, 2.0], directed=False)
+        graph = Graph(table)
+        assert graph.m == 4
+
+    def test_neighbors_of(self):
+        table = EdgeTable([0, 0, 1], [1, 2, 2], [1.0, 2.0, 3.0])
+        graph = Graph(table)
+        nbrs, weights = graph.neighbors_of(0)
+        assert sorted(nbrs.tolist()) == [1, 2]
+        assert sorted(weights.tolist()) == [1.0, 2.0]
+
+    def test_directed_keeps_only_outgoing(self):
+        table = EdgeTable([0], [1], [1.0], directed=True)
+        graph = Graph(table)
+        assert graph.degree_of(0) == 1
+        assert graph.degree_of(1) == 0
+
+    def test_reversed(self):
+        table = EdgeTable([0], [1], [4.0], directed=True)
+        rev = Graph(table).reversed()
+        assert rev.degree_of(1) == 1
+        assert rev.degree_of(0) == 0
+        assert rev.strength_of(1) == pytest.approx(4.0)
+
+    def test_strength_of(self):
+        table = EdgeTable([0, 0], [1, 2], [1.5, 2.5])
+        graph = Graph(table)
+        assert graph.strength_of(0) == pytest.approx(4.0)
+
+    def test_total_weight_undirected_doubles(self):
+        table = EdgeTable([0], [1], [3.0], directed=False)
+        assert Graph(table).total_weight() == pytest.approx(6.0)
+
+
+class TestComponents:
+    def test_single_component(self):
+        table = EdgeTable([0, 1], [1, 2], [1.0, 1.0])
+        labels, count = connected_components(table)
+        assert count == 1
+        assert len(set(labels.tolist())) == 1
+
+    def test_isolates_are_own_components(self):
+        table = EdgeTable([0], [1], [1.0], n_nodes=4)
+        _, count = connected_components(table)
+        assert count == 3
+
+    def test_directed_uses_weak_connectivity(self):
+        table = EdgeTable([0, 2], [1, 1], [1.0, 1.0], directed=True)
+        assert is_connected(table)
+
+    def test_is_connected_trivial_graphs(self):
+        assert is_connected(EdgeTable((), (), ()))
+        assert is_connected(EdgeTable((), (), (), n_nodes=1))
+        assert not is_connected(EdgeTable((), (), (), n_nodes=2))
+
+    def test_giant_component_mask(self):
+        table = EdgeTable([0, 1, 3], [1, 2, 4], [1.0] * 3, n_nodes=6)
+        mask = giant_component_mask(table)
+        assert mask.tolist() == [True, True, True, False, False, False]
+
+    def test_component_sizes_sorted(self):
+        table = EdgeTable([0, 3], [1, 4], [1.0, 1.0], n_nodes=6)
+        assert component_sizes(table).tolist() == [2, 2, 1, 1]
+
+    def test_matches_networkx(self):
+        rng = np.random.default_rng(7)
+        src = rng.integers(0, 30, 40)
+        dst = rng.integers(0, 30, 40)
+        table = EdgeTable(src, dst, np.ones(40), n_nodes=30, directed=False)
+        _, count = connected_components(table)
+        g = nx.Graph()
+        g.add_nodes_from(range(30))
+        g.add_edges_from(zip(src.tolist(), dst.tolist()))
+        assert count == nx.number_connected_components(g)
+
+
+class TestPaths:
+    def weighted_triangle(self):
+        # Strong edge 0-1, weak edges elsewhere: HSS-style inverse lengths.
+        return EdgeTable([0, 1, 0], [1, 2, 2], [10.0, 10.0, 1.0],
+                         directed=False)
+
+    def test_dijkstra_prefers_strong_edges(self):
+        graph = Graph(self.weighted_triangle())
+        dist, pred = dijkstra(graph, 0)
+        # 0 -> 1 -> 2 has length 0.1 + 0.1 < direct 1.0.
+        assert dist[2] == pytest.approx(0.2)
+        assert pred[2] == 1
+
+    def test_dijkstra_unreachable_is_inf(self):
+        table = EdgeTable([0], [1], [1.0], n_nodes=3)
+        dist, pred = dijkstra(Graph(table), 0)
+        assert dist[2] == np.inf
+        assert pred[2] == -1
+
+    def test_dijkstra_custom_lengths(self):
+        table = EdgeTable([0, 1, 0], [1, 2, 2], [1.0, 1.0, 1.0],
+                          directed=False)
+        graph = Graph(table)
+        lengths = np.ones(graph.m)
+        dist, _ = dijkstra(graph, 0, lengths=lengths)
+        assert dist[2] == pytest.approx(1.0)
+
+    def test_dijkstra_rejects_negative_lengths(self):
+        graph = Graph(EdgeTable([0], [1], [1.0], directed=False))
+        with pytest.raises(ValueError):
+            dijkstra(graph, 0, lengths=np.array([-1.0, -1.0]))
+
+    def test_dijkstra_rejects_bad_source(self):
+        graph = Graph(EdgeTable([0], [1], [1.0]))
+        with pytest.raises(ValueError):
+            dijkstra(graph, 5)
+
+    def test_zero_weight_edges_unusable(self):
+        table = EdgeTable([0], [1], [0.0], n_nodes=2, directed=False)
+        dist, _ = dijkstra(Graph(table), 0)
+        assert dist[1] == np.inf
+
+    def test_shortest_path_tree_edges(self):
+        graph = Graph(self.weighted_triangle())
+        tree = shortest_path_tree(graph, 0)
+        assert (0, 1) in tree
+        assert (1, 2) in tree
+        assert len(tree) == 2
+
+    def test_spt_spans_reachable_nodes(self):
+        rng = np.random.default_rng(3)
+        n = 25
+        src = rng.integers(0, n, 60)
+        dst = rng.integers(0, n, 60)
+        w = rng.uniform(0.5, 2.0, 60)
+        table = EdgeTable(src, dst, w, n_nodes=n, directed=False)
+        table = table.without_self_loops()
+        graph = Graph(table)
+        dist, _ = dijkstra(graph, 0)
+        tree = shortest_path_tree(graph, 0)
+        assert len(tree) == int(np.isfinite(dist).sum()) - 1
+
+    def test_matches_networkx_distances(self):
+        rng = np.random.default_rng(11)
+        n = 20
+        src = rng.integers(0, n, 50)
+        dst = rng.integers(0, n, 50)
+        w = rng.uniform(0.5, 3.0, 50)
+        table = EdgeTable(src, dst, w, n_nodes=n, directed=False)
+        table = table.without_self_loops()
+        graph = Graph(table)
+        dist, _ = dijkstra(graph, 0)
+
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        for u, v, weight in table.iter_edges():
+            g.add_edge(u, v, length=1.0 / weight)
+        nx_dist = nx.single_source_dijkstra_path_length(g, 0, weight="length")
+        for node, d in nx_dist.items():
+            assert dist[node] == pytest.approx(d)
+
+    def test_all_pairs_shape_and_diagonal(self):
+        table = EdgeTable([0, 1], [1, 2], [1.0, 1.0], directed=False)
+        matrix = all_pairs_distances(Graph(table))
+        assert matrix.shape == (3, 3)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_bfs_order_starts_at_source(self):
+        table = EdgeTable([0, 1], [1, 2], [1.0, 1.0], directed=False)
+        order = bfs_order(table, 1)
+        assert order[0] == 1
+        assert set(order.tolist()) == {0, 1, 2}

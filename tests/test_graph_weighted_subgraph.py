@@ -1,0 +1,151 @@
+"""Tests for weighted metrics and subgraph utilities."""
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.graph import (EdgeTable, Subgraph, degree_assortativity,
+                         giant_component_subgraph, induced_subgraph,
+                         non_isolated_subgraph, reciprocity,
+                         weight_assortativity,
+                         weighted_clustering_coefficient)
+
+
+def random_undirected(n=18, m=50, seed=0):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    weight = rng.uniform(1, 10, m)
+    return EdgeTable(src, dst, weight, n_nodes=n,
+                     directed=False).without_self_loops()
+
+
+class TestWeightedClustering:
+    def test_unweighted_triangle(self):
+        table = EdgeTable([0, 1, 2], [1, 2, 0], [1.0] * 3, directed=False)
+        assert np.allclose(weighted_clustering_coefficient(table), 1.0)
+
+    def test_matches_networkx_barrat(self):
+        table = random_undirected(seed=3)
+        ours = weighted_clustering_coefficient(table)
+        g = nx.Graph()
+        g.add_nodes_from(range(table.n_nodes))
+        for u, v, w in table.iter_edges():
+            g.add_edge(u, v, weight=w)
+        theirs = nx.clustering(g, weight="weight")
+        # networkx uses the Onnela et al. geometric-mean variant, not
+        # Barrat's: only compare where both agree structurally (zero
+        # iff zero).
+        for node in range(table.n_nodes):
+            assert (ours[node] == 0) == (theirs[node] == 0)
+
+    def test_exact_barrat_hand_computed(self):
+        # Triangle 0-1-2 with weights and a pendant 0-3.
+        table = EdgeTable.from_pairs(
+            [(0, 1, 2.0), (1, 2, 1.0), (0, 2, 4.0), (0, 3, 3.0)],
+            directed=False)
+        values = weighted_clustering_coefficient(table)
+        # Node 0: s=9, k=3, triangle via ordered pairs (1,2) and (2,1):
+        # 2 * (w01+w02)/2 = 6.
+        assert values[0] == pytest.approx(6.0 / (9.0 * 2.0))
+        # Node 1: s=3, k=2, triangle (0,2) both orders: 2 * 1.5 = 3.
+        assert values[1] == pytest.approx(3.0 / (3.0 * 1.0))
+        # Node 3: degree 1 -> 0.
+        assert values[3] == 0.0
+
+
+class TestAssortativity:
+    def test_star_is_disassortative(self):
+        table = EdgeTable([0, 0, 0, 0], [1, 2, 3, 4], [1.0] * 4,
+                          directed=False)
+        assert degree_assortativity(table) < 0
+
+    def test_matches_networkx(self):
+        table = random_undirected(seed=5)
+        ours = degree_assortativity(table)
+        g = nx.Graph()
+        g.add_nodes_from(range(table.n_nodes))
+        g.add_edges_from(zip(table.src.tolist(), table.dst.tolist()))
+        theirs = nx.degree_assortativity_coefficient(g)
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_tiny_network_nan(self):
+        assert np.isnan(degree_assortativity(EdgeTable([0], [1], [1.0])))
+
+    def test_weight_assortativity_bounded(self):
+        value = weight_assortativity(random_undirected(seed=6))
+        assert -1.0 <= value <= 1.0
+
+
+class TestReciprocity:
+    def test_fully_reciprocal(self):
+        table = EdgeTable([0, 1], [1, 0], [1.0, 2.0], directed=True)
+        assert reciprocity(table) == 1.0
+
+    def test_no_reciprocity(self):
+        table = EdgeTable([0, 1], [1, 2], [1.0, 2.0], directed=True)
+        assert reciprocity(table) == 0.0
+
+    def test_partial(self):
+        table = EdgeTable([0, 1, 1], [1, 0, 2], [1.0] * 3, directed=True)
+        assert reciprocity(table) == pytest.approx(2 / 3)
+
+    def test_undirected_is_one(self):
+        assert reciprocity(EdgeTable([0], [1], [1.0],
+                                     directed=False)) == 1.0
+
+    def test_empty_is_nan(self):
+        assert np.isnan(reciprocity(EdgeTable([0], [0], [1.0])))
+
+
+class TestSubgraphs:
+    def test_induced_subgraph_basic(self):
+        table = EdgeTable([0, 1, 2], [1, 2, 3], [1.0, 2.0, 3.0],
+                          directed=False)
+        sub = induced_subgraph(table, [1, 2, 3])
+        assert sub.table.n_nodes == 3
+        assert sub.table.m == 2
+        assert sub.to_original(0) == 1
+
+    def test_cross_boundary_edges_dropped(self):
+        table = EdgeTable([0, 1], [1, 2], [1.0, 2.0], directed=False)
+        sub = induced_subgraph(table, [0, 1])
+        assert sub.table.m == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            induced_subgraph(EdgeTable([0], [1], [1.0]), [5])
+
+    def test_non_isolated_subgraph(self):
+        table = EdgeTable([0], [1], [1.0], n_nodes=5, directed=False)
+        sub = non_isolated_subgraph(table)
+        assert sub.table.n_nodes == 2
+        assert sub.original_ids.tolist() == [0, 1]
+
+    def test_giant_component_subgraph(self):
+        table = EdgeTable([0, 1, 3], [1, 2, 4], [1.0] * 3, n_nodes=6,
+                          directed=False)
+        sub = giant_component_subgraph(table)
+        assert sub.table.n_nodes == 3
+        assert sub.original_ids.tolist() == [0, 1, 2]
+
+    def test_lift_labels_round_trip(self):
+        table = EdgeTable([1, 2], [2, 3], [1.0, 2.0], n_nodes=5,
+                          directed=False)
+        sub = non_isolated_subgraph(table)
+        labels = np.array([0, 0, 1])
+        lifted = sub.lift_labels(labels, fill=-1)
+        assert lifted[1] == 0 and lifted[2] == 0 and lifted[3] == 1
+        assert lifted[0] == -1
+
+    def test_lift_labels_length_checked(self):
+        table = EdgeTable([0], [1], [1.0], directed=False)
+        sub = non_isolated_subgraph(table)
+        with pytest.raises(ValueError):
+            sub.lift_labels(np.array([0, 1, 2]))
+
+    def test_weights_preserved(self):
+        table = EdgeTable([0, 1], [1, 2], [5.0, 7.0], directed=False)
+        sub = induced_subgraph(table, [0, 1, 2])
+        assert sorted(sub.table.weight.tolist()) == [5.0, 7.0]

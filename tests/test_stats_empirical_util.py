@@ -1,0 +1,140 @@
+"""Tests for empirical CDFs, moments helpers and the util package."""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (ccdf_points, delta_method_variance, ecdf_points,
+                         quantile, sample_mean_variance,
+                         weight_spread_summary, weighted_mean)
+from repro.util import Timer, format_series, format_table
+from repro.util.timing import time_call
+
+
+class TestCcdf:
+    def test_simple_shares(self):
+        x, share = ccdf_points([1.0, 2.0, 2.0, 3.0])
+        assert x.tolist() == [1.0, 2.0, 3.0]
+        assert share.tolist() == [1.0, 0.75, 0.25]
+
+    def test_starts_at_one(self):
+        rng = np.random.default_rng(0)
+        _, share = ccdf_points(rng.uniform(size=100))
+        assert share[0] == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        rng = np.random.default_rng(1)
+        _, share = ccdf_points(rng.exponential(size=500))
+        assert np.all(np.diff(share) < 0)
+
+    def test_empty(self):
+        x, share = ccdf_points([])
+        assert len(x) == 0 and len(share) == 0
+
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=100))
+    @settings(max_examples=40)
+    def test_ccdf_plus_below_share_is_one(self, values):
+        x, share = ccdf_points(values)
+        values = np.asarray(values)
+        for xi, si in zip(x, share):
+            assert si == pytest.approx((values >= xi).mean())
+
+
+class TestEcdf:
+    def test_complements_ccdf_without_ties(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        x, up = ecdf_points(values)
+        assert up.tolist() == [0.25, 0.5, 0.75, 1.0]
+
+    def test_ends_at_one(self):
+        _, up = ecdf_points(np.random.default_rng(2).normal(size=50))
+        assert up[-1] == pytest.approx(1.0)
+
+
+class TestQuantilesAndSummary:
+    def test_quantile_median(self):
+        assert quantile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_quantile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+    def test_quantile_empty_is_nan(self):
+        assert np.isnan(quantile([], 0.5))
+
+    def test_weight_spread_summary(self):
+        values = np.concatenate([np.full(99, 1.5), [50000.0]])
+        summary = weight_spread_summary(values)
+        assert summary["median"] == pytest.approx(1.5)
+        assert summary["top_1pct"] > 100
+        assert summary["orders_of_magnitude"] > 4
+
+    def test_weight_spread_empty(self):
+        summary = weight_spread_summary([0.0, 0.0])
+        assert np.isnan(summary["median"])
+
+
+class TestMoments:
+    def test_sample_mean_variance(self):
+        rows = [np.array([1.0, 10.0]), np.array([3.0, 10.0])]
+        mean, variance = sample_mean_variance(rows)
+        assert mean.tolist() == [2.0, 10.0]
+        assert variance.tolist() == [2.0, 0.0]
+
+    def test_needs_two_rows(self):
+        with pytest.raises(ValueError):
+            sample_mean_variance([np.array([1.0])])
+
+    def test_delta_method(self):
+        out = delta_method_variance(np.array([4.0]), np.array([0.5]))
+        assert out.tolist() == [1.0]
+
+    def test_weighted_mean(self):
+        assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
+
+    def test_weighted_mean_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [0.0])
+
+
+class TestTables:
+    def test_format_table_basic(self):
+        text = format_table(["a", "b"], [[1, 2.0], ["x", None]])
+        assert "a" in text and "b" in text
+        assert "n/a" in text
+        assert "2.0000" in text
+
+    def test_format_table_title(self):
+        text = format_table(["h"], [[1]], title="Table II")
+        assert text.splitlines()[0] == "Table II"
+
+    def test_format_series(self):
+        text = format_series({"NC": [0.9, 0.8], "DF": [0.7, 0.6]},
+                             "noise", [0.1, 0.2])
+        lines = text.splitlines()
+        assert "noise" in lines[0]
+        assert "NC" in lines[0]
+        assert len(lines) == 4
+
+    def test_nan_renders(self):
+        text = format_table(["v"], [[float("nan")]])
+        assert "nan" in text
+
+
+class TestTiming:
+    def test_timer_measures(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+
+    def test_time_call_returns_result(self):
+        seconds, result = time_call(lambda v: v * 2, 21, repeats=2)
+        assert result == 42
+        assert seconds >= 0.0
+
+    def test_time_call_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeats=0)

@@ -1,0 +1,126 @@
+"""Tests for the OLS estimator and design-matrix builder."""
+
+import numpy as np
+import pytest
+
+from repro.stats import design_matrix, ols
+
+
+def make_data(n=300, seed=0, noise=1.0):
+    rng = np.random.default_rng(seed)
+    x1 = rng.normal(size=n)
+    x2 = rng.uniform(-2, 2, size=n)
+    y = 1.5 + 2.0 * x1 - 0.7 * x2 + noise * rng.normal(size=n)
+    return y, np.column_stack([x1, x2])
+
+
+class TestOls:
+    def test_recovers_coefficients(self):
+        y, X = make_data(n=5000, noise=0.01)
+        fit = ols(y, X, names=["x1", "x2"])
+        assert fit.coefficient("intercept") == pytest.approx(1.5, abs=0.01)
+        assert fit.coefficient("x1") == pytest.approx(2.0, abs=0.01)
+        assert fit.coefficient("x2") == pytest.approx(-0.7, abs=0.01)
+
+    def test_perfect_fit_r_squared_one(self):
+        x = np.arange(20.0)
+        fit = ols(3.0 + 2.0 * x, x)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noise_only_r_squared_near_zero(self):
+        rng = np.random.default_rng(3)
+        y = rng.normal(size=2000)
+        x = rng.normal(size=2000)
+        fit = ols(y, x)
+        assert abs(fit.r_squared) < 0.01
+
+    def test_r_squared_between_zero_and_one_with_intercept(self):
+        y, X = make_data(noise=3.0)
+        fit = ols(y, X)
+        assert 0.0 <= fit.r_squared <= 1.0
+
+    def test_adjusted_below_plain_r_squared(self):
+        y, X = make_data(noise=2.0)
+        fit = ols(y, X)
+        assert fit.adj_r_squared < fit.r_squared
+
+    def test_no_intercept(self):
+        x = np.arange(1.0, 30.0)
+        fit = ols(4.0 * x, x, add_intercept=False)
+        assert len(fit.coefficients) == 1
+        assert fit.coefficients[0] == pytest.approx(4.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_single_vector_promoted(self):
+        fit = ols(np.arange(5.0), np.arange(5.0))
+        assert fit.names == ("intercept", "x0")
+
+    def test_residuals_orthogonal_to_regressors(self):
+        y, X = make_data()
+        fit = ols(y, X)
+        assert abs(fit.residuals.sum()) < 1e-8
+        assert np.allclose(X.T @ fit.residuals, 0.0, atol=1e-7)
+
+    def test_fitted_plus_residuals_is_y(self):
+        y, X = make_data()
+        fit = ols(y, X)
+        assert np.allclose(fit.fitted + fit.residuals, y)
+
+    def test_t_and_p_values_flag_signal(self):
+        y, X = make_data(n=500, noise=1.0)
+        fit = ols(y, X, names=["x1", "x2"])
+        p = fit.p_values()
+        assert p[fit.names.index("x1")] < 1e-9
+        assert p[fit.names.index("x2")] < 1e-9
+
+    def test_insignificant_regressor_detected(self):
+        rng = np.random.default_rng(9)
+        n = 400
+        x_signal = rng.normal(size=n)
+        x_noise = rng.normal(size=n)
+        y = x_signal + rng.normal(size=n)
+        fit = ols(y, np.column_stack([x_signal, x_noise]),
+                  names=["signal", "noise"])
+        p = fit.p_values()
+        assert p[fit.names.index("noise")] > 0.01
+
+    def test_predict_round_trip(self):
+        y, X = make_data()
+        fit = ols(y, X)
+        assert np.allclose(fit.predict(X), fit.fitted)
+
+    def test_too_few_observations_rejected(self):
+        with pytest.raises(ValueError):
+            ols([1.0], np.array([[1.0, 2.0]]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ols([1.0, 2.0], np.ones((3, 1)))
+
+    def test_non_finite_regressors_rejected(self):
+        with pytest.raises(ValueError):
+            ols([1.0, 2.0, 3.0], np.array([1.0, np.inf, 2.0]))
+
+    def test_matches_numpy_polyfit(self):
+        rng = np.random.default_rng(12)
+        x = rng.normal(size=100)
+        y = 2.5 * x - 1.0 + rng.normal(size=100)
+        fit = ols(y, x)
+        slope, intercept = np.polyfit(x, y, 1)
+        assert fit.coefficient("x0") == pytest.approx(slope)
+        assert fit.coefficient("intercept") == pytest.approx(intercept)
+
+
+class TestDesignMatrix:
+    def test_column_order_preserved(self):
+        X, names = design_matrix({"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        assert names == ["a", "b"]
+        assert X.tolist() == [[1.0, 3.0], [2.0, 4.0]]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            design_matrix({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            design_matrix({})
