@@ -1,0 +1,47 @@
+"""Tier-2 perf smoke: the batched SP engine vs the heap reference.
+
+Times exact (all-roots) High-Salience Skeleton scoring at 2k and 8k
+edges through both paths and asserts the engine's speedup, so the
+BENCH_*.json trajectory captures regressions in the hot path. Scores
+must also stay bit-identical — the speedup is worthless otherwise.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.backbones.high_salience import (HighSalienceSkeleton,
+                                           reference_salience_scores)
+from repro.generators.erdos_renyi import erdos_renyi_gnm
+from repro.util.tables import format_table
+from repro.util.timing import time_call
+
+#: Edge counts to probe (paper regime and one step past it).
+EDGE_SIZES = (2_000, 8_000)
+#: Required speedup of the engine over the reference path.
+MIN_SPEEDUP = 3.0
+AVERAGE_DEGREE = 3.0
+
+
+def _exact_hss_timings(seed: int = 0):
+    rows = []
+    for n_edges in EDGE_SIZES:
+        n_nodes = max(2, int(round(2.0 * n_edges / AVERAGE_DEGREE)))
+        table = erdos_renyi_gnm(n_nodes, n_edges, seed=seed)
+        engine_s, scored = time_call(HighSalienceSkeleton().score, table)
+        reference_s, expected = time_call(reference_salience_scores, table)
+        assert np.array_equal(scored.score, expected.score), \
+            "engine salience diverged from the reference"
+        rows.append((n_edges, engine_s, reference_s,
+                     reference_s / engine_s))
+    return rows
+
+
+def test_hss_engine_speedup(benchmark):
+    rows = benchmark.pedantic(_exact_hss_timings, rounds=1, iterations=1)
+    emit(format_table(
+        ("edges", "engine_s", "reference_s", "speedup"),
+        [(e, f"{a:.3f}", f"{b:.3f}", f"{r:.1f}x") for e, a, b, r in rows],
+        title="HSS exact scoring — batched engine vs heap reference"))
+    for n_edges, _, _, speedup in rows:
+        assert speedup >= MIN_SPEEDUP, \
+            f"engine only {speedup:.1f}x faster at {n_edges} edges"

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -41,12 +41,17 @@ class ScoredEdges:
         Optional per-edge standard deviation of the score. Only the
         Noise-Corrected method provides it; it enables the δ filter and
         confidence intervals.
+    info:
+        Optional method-specific metadata about how the scores were
+        produced (e.g. the High-Salience Skeleton records its root
+        sample: ``n_roots``, ``root_fraction``, ``exact``, ``seed``).
     """
 
     table: EdgeTable
     score: np.ndarray
     method: str
     sdev: Optional[np.ndarray] = field(default=None)
+    info: Optional[Dict[str, object]] = field(default=None)
 
     def __post_init__(self):
         require(len(self.score) == self.table.m,

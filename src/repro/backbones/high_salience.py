@@ -7,46 +7,94 @@ salience distribution is bimodal — most edges are either in nearly every
 tree or in almost none — so a threshold of 0.5 is canonical, but the
 paper sweeps it like any other score.
 
-The method is defined structurally (it never models noise) and costs a
-full Dijkstra per node, which is why the paper could not run it beyond a
-few thousand edges (Section V-G); the same limitation is documented in
-our scalability benchmark.
+Scoring runs on the batched shortest-path engine
+(:mod:`repro.graph.sp_engine`): trees come back as predecessor *arc
+indices* and superposition is a single ``bincount`` through
+``Graph.arc_row``, instead of one pure-Python Dijkstra plus a
+``(u, v) -> row`` dict lookup per tree edge. That lifts the "few thousand
+edges" ceiling the paper reports for HSS (Section V-G).
+
+Exact-vs-sampled contract
+-------------------------
+* ``roots=None`` (default) superposes **all** roots and reproduces the
+  reference implementation bit for bit (identical ``ScoredEdges.score``).
+* ``roots=k`` superposes ``k`` roots drawn without replacement using
+  ``seed`` — the salience estimator of Shekhtman, Bagrow & Brockmann,
+  which is stable under root subsampling. The result records the
+  sampling setup in ``ScoredEdges.info`` (``n_roots``, ``root_fraction``,
+  ``exact``, ``seed``) so downstream sweeps can tell estimates apart.
+* ``workers=w`` fans root chunks out across processes (see
+  :mod:`repro.util.parallel`); it changes wall-clock only, never scores.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 import numpy as np
 
 from ..graph.edge_table import EdgeTable
 from ..graph.graph import Graph
-from ..graph.paths import shortest_path_tree
+from ..graph.paths import dijkstra_reference
+from ..graph.sp_engine import ShortestPathEngine
 from .base import BackboneMethod, ScoredEdges, prepare_table
 
 
 class HighSalienceSkeleton(BackboneMethod):
-    """Salience scores from shortest-path-tree superposition."""
+    """Salience scores from shortest-path-tree superposition.
+
+    Parameters
+    ----------
+    default_threshold:
+        Salience cut used by :meth:`extract` when no budget is given.
+    roots:
+        ``None`` for the exact all-roots superposition, or a positive
+        root-sample size (capped at the node count).
+    seed:
+        Seed for the root sample; ignored in exact mode.
+    workers:
+        Optional process count for root-chunk fan-out.
+    """
 
     name = "High Salience Skeleton"
     code = "HSS"
 
-    def __init__(self, default_threshold: float = 0.5):
+    def __init__(self, default_threshold: float = 0.5,
+                 roots: Optional[int] = None, seed: int = 0,
+                 workers: Optional[int] = None):
         if not 0.0 <= default_threshold <= 1.0:
             raise ValueError("default_threshold must be in [0, 1]")
+        if roots is not None and int(roots) < 1:
+            raise ValueError("roots must be a positive sample size or None")
         self.default_threshold = float(default_threshold)
+        self.roots = None if roots is None else int(roots)
+        self.seed = int(seed)
+        self.workers = workers
 
     def score(self, table: EdgeTable) -> ScoredEdges:
         table = prepare_table(table)
         working = table if not table.directed else table.symmetrized("sum")
         graph = Graph(working)
-        key_to_row = {(int(u), int(v)): row for row, (u, v, _)
-                      in enumerate(working.iter_edges())}
-        counts = np.zeros(working.m, dtype=np.float64)
-        for root in range(working.n_nodes):
-            for parent, child in shortest_path_tree(graph, root):
-                key = (parent, child) if parent <= child else (child, parent)
-                counts[key_to_row[key]] += 1.0
-        salience = counts / working.n_nodes
-        return ScoredEdges(table=working, score=salience, method=self.name)
+        n = working.n_nodes
+        if self.roots is None:
+            roots = np.arange(n, dtype=np.int64)
+        else:
+            rng = np.random.default_rng(self.seed)
+            roots = np.sort(rng.choice(n, size=min(self.roots, n),
+                                       replace=False))
+        engine = ShortestPathEngine(graph)
+        arc_counts = engine.tree_arc_counts(roots, workers=self.workers)
+        counts = np.bincount(graph.arc_row, weights=arc_counts,
+                             minlength=working.m)
+        salience = counts / float(len(roots))
+        info = {
+            "n_roots": int(len(roots)),
+            "root_fraction": float(len(roots)) / n if n else 1.0,
+            "exact": self.roots is None,
+            "seed": None if self.roots is None else self.seed,
+        }
+        return ScoredEdges(table=working, score=salience, method=self.name,
+                           info=info)
 
     def extract(self, table: EdgeTable, threshold=None, share=None,
                 n_edges=None) -> EdgeTable:
@@ -55,3 +103,30 @@ class HighSalienceSkeleton(BackboneMethod):
             threshold = self.default_threshold
         return super().extract(table, threshold=threshold, share=share,
                                n_edges=n_edges)
+
+
+def reference_salience_scores(table: EdgeTable) -> ScoredEdges:
+    """The original per-root heap Dijkstra + dict superposition.
+
+    Kept verbatim as the ground truth the engine-backed
+    :meth:`HighSalienceSkeleton.score` must match exactly in all-roots
+    mode; also the slow side of the tier-2 perf smoke
+    (``benchmarks/bench_hss_engine.py``).
+    """
+    table = prepare_table(table)
+    working = table if not table.directed else table.symmetrized("sum")
+    graph = Graph(working)
+    key_to_row = {(int(u), int(v)): row for row, (u, v, _)
+                  in enumerate(working.iter_edges())}
+    counts = np.zeros(working.m, dtype=np.float64)
+    for root in range(working.n_nodes):
+        _, pred = dijkstra_reference(graph, root)
+        for child, parent in enumerate(pred):
+            if parent < 0:
+                continue
+            key = (int(parent), int(child)) if parent <= child \
+                else (int(child), int(parent))
+            counts[key_to_row[key]] += 1.0
+    salience = counts / working.n_nodes
+    return ScoredEdges(table=working, score=salience,
+                       method=HighSalienceSkeleton.name)

@@ -8,7 +8,10 @@ from .io import read_edge_csv, write_edge_csv
 from .metrics import (average_clustering, average_degree,
                       clustering_coefficient, degree_histogram, density,
                       jaccard_edge_similarity, neighbor_weight_profile)
-from .paths import all_pairs_distances, bfs_order, dijkstra, shortest_path_tree
+from .paths import (all_pairs_distances, bfs_order, dijkstra,
+                    dijkstra_reference, shortest_path_tree)
+from .sp_engine import (ShortestPathEngine, ShortestPathForest,
+                        effective_lengths)
 from .subgraph import (Subgraph, giant_component_subgraph,
                        induced_subgraph, non_isolated_subgraph)
 from .union_find import UnionFind
@@ -20,6 +23,8 @@ from .weighted_metrics import (average_weighted_clustering,
 __all__ = [
     "EdgeTable",
     "Graph",
+    "ShortestPathEngine",
+    "ShortestPathForest",
     "Subgraph",
     "UnionFind",
     "average_weighted_clustering",
@@ -40,6 +45,8 @@ __all__ = [
     "degree_histogram",
     "density",
     "dijkstra",
+    "dijkstra_reference",
+    "effective_lengths",
     "giant_component_mask",
     "is_connected",
     "jaccard_edge_similarity",

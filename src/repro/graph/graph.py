@@ -4,6 +4,19 @@ Algorithms that walk neighborhoods (Dijkstra, Louvain, Infomap, clustering
 coefficients) need O(1) access to a node's incident edges. ``Graph`` builds a
 CSR-like structure (``indptr`` / ``neighbors`` / ``weights``) once and then
 serves read-only neighbor views.
+
+Two derived arrays are cached at construction for the array-native
+shortest-path engine (:mod:`repro.graph.sp_engine`):
+
+``arc_src``
+    The source node of every stored arc (the CSR row expanded back to one
+    entry per arc via ``np.repeat``).
+``arc_row``
+    For every stored arc, the row of the *originating* edge table. For
+    undirected tables both orientations of an edge map to the same row,
+    which is what lets shortest-path-tree superposition accumulate arc
+    counts straight into per-edge scores with ``np.bincount`` instead of a
+    per-edge Python dict.
 """
 
 from __future__ import annotations
@@ -24,20 +37,31 @@ class Graph:
     """
 
     __slots__ = ("indptr", "neighbors", "weights", "n_nodes", "directed",
-                 "labels")
+                 "labels", "arc_src", "arc_row")
 
     def __init__(self, table: EdgeTable):
         expanded = table.as_directed_doubled() if not table.directed else table
         n = table.n_nodes
         order = np.argsort(expanded.src, kind="stable")
-        src_sorted = expanded.src[order]
         self.neighbors = expanded.dst[order]
         self.weights = expanded.weight[order]
-        counts = np.bincount(src_sorted, minlength=n)
+        counts = np.bincount(expanded.src[order], minlength=n)
         self.indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
         self.n_nodes = n
         self.directed = table.directed
         self.labels = table.labels
+        self.arc_src = np.repeat(np.arange(n, dtype=np.int64),
+                                 np.diff(self.indptr))
+        # ``as_directed_doubled`` keeps the original rows first and then
+        # appends the flipped non-loop rows in table order, so the arc ->
+        # table-row map is a concatenation reshuffled by ``order``.
+        if table.directed:
+            rows = np.arange(table.m, dtype=np.int64)
+        else:
+            rows = np.concatenate([
+                np.arange(table.m, dtype=np.int64),
+                np.flatnonzero(table.src != table.dst).astype(np.int64)])
+        self.arc_row = rows[order]
 
     @property
     def m(self) -> int:
@@ -76,7 +100,19 @@ class Graph:
         return graph
 
     def _arc_sources(self) -> np.ndarray:
-        sources = np.empty(self.m, dtype=np.int64)
-        for node in range(self.n_nodes):
-            sources[self.indptr[node]:self.indptr[node + 1]] = node
-        return sources
+        return self.arc_src
+
+
+def concat_csr_slices(indptr: np.ndarray, nodes: np.ndarray) -> np.ndarray:
+    """Indices of all CSR entries of ``nodes``, concatenated in order.
+
+    The returned index vector addresses ``neighbors``/``weights``-aligned
+    arrays, equivalent to ``np.concatenate([np.arange(indptr[v],
+    indptr[v + 1]) for v in nodes])`` without the Python loop. Shared by
+    BFS, clustering and the shortest-path engine's slab relaxation.
+    """
+    counts = indptr[nodes + 1] - indptr[nodes]
+    total = int(counts.sum())
+    offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts,
+                                           counts)
+    return np.repeat(indptr[nodes], counts) + offsets

@@ -7,7 +7,7 @@ from typing import Dict
 import numpy as np
 
 from .edge_table import EdgeTable
-from .graph import Graph
+from .graph import Graph, concat_csr_slices
 
 
 def density(table: EdgeTable) -> float:
@@ -72,18 +72,21 @@ def clustering_coefficient(table: EdgeTable) -> np.ndarray:
     simple = table.symmetrized("max").without_self_loops() if table.directed \
         else table.without_self_loops()
     graph = Graph(simple)
+    indptr, nbrs = graph.indptr, graph.neighbors
+    degree = np.diff(indptr)
     out = np.zeros(simple.n_nodes, dtype=np.float64)
-    neighbor_sets = [set(graph.neighbors_of(v)[0].tolist())
-                     for v in range(simple.n_nodes)]
-    for v in range(simple.n_nodes):
-        nbrs = neighbor_sets[v]
-        k = len(nbrs)
-        if k < 2:
-            continue
-        links = 0
-        for u in nbrs:
-            links += len(neighbor_sets[u] & nbrs)
+    member = np.zeros(simple.n_nodes, dtype=bool)
+    for v in np.flatnonzero(degree >= 2):
+        neighborhood = nbrs[indptr[v]:indptr[v + 1]]
+        member[neighborhood] = True
+        # Count, over every neighbor u, how many of u's neighbors fall
+        # inside v's neighborhood — one membership-mask gather over the
+        # concatenated CSR slices instead of a Python pair loop.
+        two_hop = nbrs[concat_csr_slices(indptr, neighborhood)]
+        links = int(member[two_hop].sum())
+        k = len(neighborhood)
         out[v] = links / (k * (k - 1))
+        member[neighborhood] = False
     return out
 
 

@@ -5,7 +5,15 @@ roots, the shortest-path tree computed on *effective proximities*: strong
 edges are short. We follow the HSS convention of using ``1 / weight`` as
 edge length.
 
-The implementation is a binary-heap Dijkstra over the CSR ``Graph`` view.
+Two implementations coexist:
+
+* :func:`dijkstra` / :func:`all_pairs_distances` delegate to the batched
+  array engine (:mod:`repro.graph.sp_engine`), which relaxes CSR slabs
+  with numpy instead of walking a Python heap arc by arc.
+* :func:`dijkstra_reference` is the original binary-heap Dijkstra, kept
+  as the slow-but-obvious fallback. The engine reproduces its output —
+  distances *and* predecessor tie-breaks — bit for bit, and the property
+  tests in ``tests/test_sp_engine.py`` hold the two to that contract.
 """
 
 from __future__ import annotations
@@ -16,7 +24,8 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from .edge_table import EdgeTable
-from .graph import Graph
+from .graph import Graph, concat_csr_slices
+from .sp_engine import ShortestPathEngine, effective_lengths
 
 _UNREACHED = -1
 
@@ -24,7 +33,7 @@ _UNREACHED = -1
 def dijkstra(graph: Graph, source: int,
              lengths: Optional[np.ndarray] = None
              ) -> Tuple[np.ndarray, np.ndarray]:
-    """Single-source shortest paths.
+    """Single-source shortest paths (batched-engine backed).
 
     Parameters
     ----------
@@ -43,14 +52,27 @@ def dijkstra(graph: Graph, source: int,
     (dist, pred):
         ``dist[v]`` is the shortest distance from ``source`` (``inf`` when
         unreachable); ``pred[v]`` is the predecessor of ``v`` on a shortest
-        path (``-1`` for the source and unreachable nodes).
+        path (``-1`` for the source and unreachable nodes). Identical —
+        tie-breaks included — to :func:`dijkstra_reference`.
+    """
+    if not 0 <= source < graph.n_nodes:
+        raise ValueError(f"source {source} out of range")
+    forest = ShortestPathEngine(graph, lengths=lengths).forest([source])
+    return forest.dist[0], forest.pred[0]
+
+
+def dijkstra_reference(graph: Graph, source: int,
+                       lengths: Optional[np.ndarray] = None
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """Binary-heap Dijkstra, one Python iteration per arc.
+
+    The original implementation, kept as the reference the batched engine
+    is validated against (same signature and output as :func:`dijkstra`).
     """
     if not 0 <= source < graph.n_nodes:
         raise ValueError(f"source {source} out of range")
     if lengths is None:
-        with np.errstate(divide="ignore"):
-            lengths = np.where(graph.weights > 0, 1.0 / graph.weights,
-                               np.inf)
+        lengths = effective_lengths(graph.weights)
     else:
         lengths = np.asarray(lengths, dtype=np.float64)
         if len(lengths) != graph.m:
@@ -97,29 +119,35 @@ def shortest_path_tree(graph: Graph, source: int,
 
 def all_pairs_distances(graph: Graph,
                         lengths: Optional[np.ndarray] = None) -> np.ndarray:
-    """Dense matrix of shortest distances between all node pairs."""
-    out = np.empty((graph.n_nodes, graph.n_nodes), dtype=np.float64)
-    for source in range(graph.n_nodes):
-        dist, _ = dijkstra(graph, source, lengths=lengths)
-        out[source] = dist
-    return out
+    """Dense matrix of shortest distances between all node pairs.
+
+    Runs the batched engine over every root (chunked internally to bound
+    working memory at roughly the size of the output matrix).
+    """
+    return ShortestPathEngine(graph, lengths=lengths).distances()
 
 
 def bfs_order(table: EdgeTable, source: int) -> np.ndarray:
-    """Breadth-first visit order from ``source`` (unweighted)."""
+    """Breadth-first visit order from ``source`` (unweighted).
+
+    Each level expands as one array operation: the frontier's CSR slices
+    are concatenated, already-seen nodes are mask-filtered, and
+    first-occurrence dedup (``np.unique`` on indices) preserves the same
+    discovery order the per-node Python loop produced.
+    """
     graph = Graph(table)
+    indptr, nbrs = graph.indptr, graph.neighbors
     seen = np.zeros(table.n_nodes, dtype=bool)
     seen[source] = True
-    order = [source]
-    frontier = [source]
-    while frontier:
-        nxt: List[int] = []
-        for node in frontier:
-            nbrs, _ = graph.neighbors_of(node)
-            for v in nbrs.tolist():
-                if not seen[v]:
-                    seen[v] = True
-                    order.append(v)
-                    nxt.append(v)
-        frontier = nxt
-    return np.asarray(order, dtype=np.int64)
+    order = [np.array([source], dtype=np.int64)]
+    frontier = order[0]
+    while frontier.size:
+        candidates = nbrs[concat_csr_slices(indptr, frontier)]
+        candidates = candidates[~seen[candidates]]
+        _, first = np.unique(candidates, return_index=True)
+        frontier = candidates[np.sort(first)]
+        if not frontier.size:
+            break
+        seen[frontier] = True
+        order.append(frontier)
+    return np.concatenate(order)

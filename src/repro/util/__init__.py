@@ -1,6 +1,7 @@
-"""Shared utilities: validation, ASCII tables and charts, timing."""
+"""Shared utilities: validation, ASCII tables and charts, timing, fan-out."""
 
 from .ascii_plot import ascii_chart
+from .parallel import chunked, parallel_map, resolve_workers
 from .tables import format_series, format_table
 from .timing import Timer
 from .validation import (as_float_array, as_index_array, check_non_negative,
@@ -9,6 +10,9 @@ from .validation import (as_float_array, as_index_array, check_non_negative,
 
 __all__ = [
     "Timer",
+    "chunked",
+    "parallel_map",
+    "resolve_workers",
     "as_float_array",
     "ascii_chart",
     "as_index_array",

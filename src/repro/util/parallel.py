@@ -1,0 +1,68 @@
+"""Process-based fan-out shared by the shortest-path engine and sweeps.
+
+Heavy root-parallel work (one shortest-path tree per root in the
+High-Salience Skeleton) splits naturally into independent chunks. This
+module is the single home of the ``workers=`` knob: callers hand over a
+picklable chunk function and a list of chunk payloads, and either get a
+plain serial map (``workers`` unset, zero or one) or a
+``multiprocessing`` pool map.
+
+The pool uses the ``fork`` start method when the platform offers it, so
+read-only numpy arrays bound into the chunk function are shared
+copy-on-write instead of being re-pickled into every worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a ``workers=`` knob into a concrete process count.
+
+    ``None``, ``0`` and ``1`` mean "stay serial"; a negative value means
+    "one per available CPU"; anything else is used as given.
+    """
+    if workers is None:
+        return 1
+    workers = int(workers)
+    if workers in (0, 1):
+        return 1
+    if workers < 0:
+        return max(1, os.cpu_count() or 1)
+    return workers
+
+
+def parallel_map(fn: Callable[[_T], _R], items: Iterable[_T],
+                 workers: Optional[int] = None) -> List[_R]:
+    """Map ``fn`` over ``items``, optionally across worker processes.
+
+    Serial when :func:`resolve_workers` says so or there is at most one
+    item; otherwise a ``multiprocessing`` pool is used, which requires
+    ``fn`` and every item to be picklable. Result order matches item
+    order either way.
+    """
+    items = list(items)
+    count = min(resolve_workers(workers), len(items))
+    if count <= 1:
+        return [fn(item) for item in items]
+    ctx = _pool_context()
+    with ctx.Pool(processes=count) as pool:
+        return pool.map(fn, items)
+
+
+def chunked(items: Sequence[_T], size: int) -> List[Sequence[_T]]:
+    """Split ``items`` into consecutive chunks of at most ``size``."""
+    size = max(1, int(size))
+    return [items[start:start + size] for start in range(0, len(items), size)]
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0])
