@@ -38,8 +38,9 @@ from .generators import (SyntheticWorld, add_noise, barabasi_albert,
                          erdos_renyi_gnm, generate_occupation_study,
                          planted_partition)
 from .graph import EdgeTable, Graph, read_edge_csv, write_edge_csv
+from .pipeline import Pipeline, ScoreStore
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BackboneMethod",
@@ -53,6 +54,8 @@ __all__ = [
     "NoiseCorrectedBackbone",
     "NoiseCorrectedPValue",
     "Partition",
+    "Pipeline",
+    "ScoreStore",
     "ScoredEdges",
     "SinkhornConvergenceError",
     "SyntheticWorld",

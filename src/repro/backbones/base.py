@@ -78,6 +78,23 @@ class ScoredEdges:
         require(0.0 <= share <= 1.0, f"share must be in [0, 1], got {share}")
         return self.top_k(int(round(share * self.m)))
 
+    def top_share_many(self, shares) -> list:
+        """Backbones at several shares, ranking the edges only once.
+
+        Output is bit-identical to ``[self.top_share(s) for s in shares]``
+        (same sort keys, same tie-breaking); the shared ranking just
+        removes the per-share ``lexsort`` that dominates sweep filtering.
+        """
+        order = np.lexsort((np.arange(self.m), -self.table.weight,
+                            -self.score))
+        backbones = []
+        for share in shares:
+            require(0.0 <= share <= 1.0,
+                    f"share must be in [0, 1], got {share}")
+            k = min(int(round(share * self.m)), self.m)
+            backbones.append(self.table.subset(np.sort(order[:k])))
+        return backbones
+
     def threshold_for_share(self, share: float) -> float:
         """Score threshold that keeps approximately ``share`` of edges."""
         require(0.0 < share <= 1.0, f"share must be in (0, 1], got {share}")
@@ -96,6 +113,11 @@ class BackboneMethod(ABC):
     #: Parameter-free methods (MST, DS) ignore thresholds/budgets and
     #: appear as single points in the paper's sweeps.
     parameter_free: bool = False
+    #: Instance attributes that influence only :meth:`extract` (never
+    #: :meth:`score`). The pipeline cache excludes them from method
+    #: fingerprints so e.g. NC runs at different deltas share one
+    #: scored table.
+    extraction_only_params: tuple = ()
 
     @abstractmethod
     def score(self, table: EdgeTable) -> ScoredEdges:
@@ -107,23 +129,66 @@ class BackboneMethod(ABC):
         """Score and filter in one call.
 
         Exactly one of ``threshold``, ``share`` or ``n_edges`` must be
-        given (parameter-free methods accept none of them).
+        given; parameter-free methods accept none of them, and methods
+        with a :meth:`default_budget` fall back to it. Validation lives
+        in :meth:`extract_from_scores` (the seam every override shares).
         """
+        return self.extract_from_scores(self.score(table),
+                                        threshold=threshold, share=share,
+                                        n_edges=n_edges)
+
+    def extract_from_scores(self, scored: ScoredEdges,
+                            threshold: Optional[float] = None,
+                            share: Optional[float] = None,
+                            n_edges: Optional[int] = None) -> EdgeTable:
+        """The filter phase of :meth:`extract`, on existing scores.
+
+        This is the seam the pipeline cache relies on: given a cached
+        ``ScoredEdges``, it must reproduce ``extract`` exactly, so
+        methods whose extraction is more than a plain cut (NC's
+        δ-adjusted ranking, the spanning logic of MST/DS) override this
+        method rather than ``extract``.
+        """
+        threshold, share, n_edges = self._resolve_budget(threshold, share,
+                                                         n_edges)
+        if self.parameter_free:
+            return scored.filter(0.0)
+        if threshold is not None:
+            return scored.filter(threshold)
+        if share is not None:
+            return scored.top_share(share)
+        return scored.top_k(n_edges)
+
+    def default_budget(self) -> Optional[Dict[str, float]]:
+        """Budget used when :meth:`extract` is called with none.
+
+        ``None`` (the base default) means a budget is mandatory.
+        Methods with a natural operating point return a single-entry
+        mapping — e.g. ``{"threshold": 0.5}`` for the High-Salience
+        Skeleton — and the CLI uses this hook to know which methods may
+        run without budget flags.
+        """
+        return None
+
+    def _resolve_budget(self, threshold: Optional[float],
+                        share: Optional[float],
+                        n_edges: Optional[int]):
+        """Validate the budget arguments, applying the default if any."""
         chosen = [name for name, value in
                   (("threshold", threshold), ("share", share),
                    ("n_edges", n_edges)) if value is not None]
         if self.parameter_free:
             require(not chosen,
                     f"{self.name} is parameter-free and accepts no budget")
-            return self.score(table).filter(0.0)
+            return None, None, None
+        if not chosen:
+            default = self.default_budget()
+            if default is not None:
+                return (default.get("threshold"), default.get("share"),
+                        default.get("n_edges"))
         require(len(chosen) == 1,
                 f"give exactly one of threshold/share/n_edges, got {chosen}")
-        scored = self.score(table)
-        if threshold is not None:
-            return scored.filter(threshold)
-        if share is not None:
-            return scored.top_share(share)
-        return scored.top_k(n_edges)
+        return threshold, share, n_edges
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

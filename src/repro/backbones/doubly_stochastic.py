@@ -110,14 +110,11 @@ class DoublyStochastic(BackboneMethod):
             balanced = np.maximum(balanced, reverse)
         return ScoredEdges(table=table, score=balanced, method=self.name)
 
-    def extract(self, table: EdgeTable, threshold=None, share=None,
-                n_edges=None) -> EdgeTable:
+    def extract_from_scores(self, scored: ScoredEdges, threshold=None,
+                            share=None, n_edges=None) -> EdgeTable:
         """Add edges by descending balanced weight until one component
         spans all non-isolated nodes of the input."""
-        if any(value is not None for value in (threshold, share, n_edges)):
-            raise ValueError(f"{self.name} is parameter-free and accepts "
-                             "no budget")
-        scored = self.score(table)
+        self._resolve_budget(threshold, share, n_edges)
         working = scored.table
         order = np.lexsort((working.dst, working.src, -scored.score))
         ds = UnionFind(working.n_nodes)

@@ -58,6 +58,9 @@ class HighSalienceSkeleton(BackboneMethod):
 
     name = "High Salience Skeleton"
     code = "HSS"
+    # roots/seed change the salience estimate and stay fingerprinted;
+    # the default extraction threshold does not touch scores.
+    extraction_only_params = ("default_threshold",)
 
     def __init__(self, default_threshold: float = 0.5,
                  roots: Optional[int] = None, seed: int = 0,
@@ -96,13 +99,9 @@ class HighSalienceSkeleton(BackboneMethod):
         return ScoredEdges(table=working, score=salience, method=self.name,
                            info=info)
 
-    def extract(self, table: EdgeTable, threshold=None, share=None,
-                n_edges=None) -> EdgeTable:
-        """Default extraction keeps edges with salience > 0.5."""
-        if threshold is None and share is None and n_edges is None:
-            threshold = self.default_threshold
-        return super().extract(table, threshold=threshold, share=share,
-                               n_edges=n_edges)
+    def default_budget(self):
+        """With no explicit budget, keep edges with salience > 0.5."""
+        return {"threshold": self.default_threshold}
 
 
 def reference_salience_scores(table: EdgeTable) -> ScoredEdges:

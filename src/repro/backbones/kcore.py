@@ -61,6 +61,8 @@ class KCore(BackboneMethod):
 
     name = "k-core"
     code = "KC"
+    # Core numbers are scored for every k; k only sets the default cut.
+    extraction_only_params = ("k",)
 
     def __init__(self, k: int = 2):
         if k < 1:
@@ -76,10 +78,6 @@ class KCore(BackboneMethod):
                            core[working.dst]).astype(np.float64)
         return ScoredEdges(table=working, score=score, method=self.name)
 
-    def extract(self, table: EdgeTable, threshold=None, share=None,
-                n_edges=None) -> EdgeTable:
-        """Default extraction keeps the configured k-core."""
-        if threshold is None and share is None and n_edges is None:
-            threshold = self.k - 0.5
-        return super().extract(table, threshold=threshold, share=share,
-                               n_edges=n_edges)
+    def default_budget(self):
+        """With no explicit budget, keep the configured k-core."""
+        return {"threshold": self.k - 0.5}

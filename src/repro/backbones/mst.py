@@ -42,11 +42,8 @@ class MaximumSpanningTree(BackboneMethod):
                            score=in_tree.astype(np.float64),
                            method=self.name)
 
-    def extract(self, table: EdgeTable, threshold=None, share=None,
-                n_edges=None) -> EdgeTable:
+    def extract_from_scores(self, scored: ScoredEdges, threshold=None,
+                            share=None, n_edges=None) -> EdgeTable:
         """Return the tree edges (budget arguments are rejected)."""
-        if any(value is not None for value in (threshold, share, n_edges)):
-            raise ValueError(f"{self.name} is parameter-free and accepts "
-                             "no budget")
-        scored = self.score(table)
+        self._resolve_budget(threshold, share, n_edges)
         return scored.table.subset(scored.score > 0.5)

@@ -12,6 +12,8 @@ Examples
     python -m repro.cli backbone edges.csv out.csv --method DF --share 0.1
     python -m repro.cli score edges.csv scored.csv --method NC
     python -m repro.cli info edges.csv
+    python -m repro.cli sweep edges.csv --metric density --workers -1 \
+        --cache-dir .repro-cache
 """
 
 from __future__ import annotations
@@ -22,11 +24,12 @@ import sys
 from typing import Optional, Sequence
 
 from .backbones.registry import get_method, method_codes
-from .core.noise_corrected import NoiseCorrectedBackbone
 from .evaluation.coverage import coverage
-from .graph.edge_table import EdgeTable
 from .graph.io import read_edge_csv, write_edge_csv
 from .graph.metrics import density
+
+#: Methods whose configuration takes the --delta strictness knob.
+_DELTA_CODES = ("NC", "NCp")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,6 +65,32 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("input", help="input edge CSV")
     info.add_argument("--directed", action="store_true",
                       help="treat edges as directed")
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="sweep methods across edge shares (cached, sharded)")
+    sweep.add_argument("input", help="input edge CSV (src,dst,weight)")
+    sweep.add_argument("--directed", action="store_true",
+                       help="treat edges as directed")
+    sweep.add_argument("--methods", default="NT,MST,DS,HSS,DF,NC",
+                       help="comma-separated method codes "
+                            "(default: the paper's six)")
+    sweep.add_argument("--metric", default="density",
+                       help="metric per backbone: coverage, density, "
+                            "average-degree or edges (default density)")
+    sweep.add_argument("--shares",
+                       help="comma-separated shares of edges to keep "
+                            "(default: the paper's log-spaced grid)")
+    sweep.add_argument("--delta", type=float, default=1.64,
+                       help="NC/NCp delta (default 1.64 ~ p<0.05)")
+    sweep.add_argument("--workers", type=int,
+                       help="process fan-out; -1 = one per CPU")
+    sweep.add_argument("--cache-dir",
+                       help="directory for the scored-table cache; "
+                            "reruns skip rescoring")
+    sweep.add_argument("--output",
+                       help="also write method,share,value rows to this "
+                            "CSV")
     return parser
 
 
@@ -73,8 +102,8 @@ def _add_io_arguments(sub: argparse.ArgumentParser) -> None:
 
 
 def _make_method(code: str, delta: float):
-    if code == "NC":
-        return NoiseCorrectedBackbone(delta=delta)
+    if code in _DELTA_CODES:
+        return get_method(code, delta=delta)
     return get_method(code)
 
 
@@ -93,7 +122,7 @@ def _run_backbone(args: argparse.Namespace) -> int:
               "flags", file=sys.stderr)
         return 2
     if not method.parameter_free and not kwargs \
-            and args.method not in ("NC", "HSS", "KC"):
+            and method.default_budget() is None:
         print("error: this method needs --threshold, --share or "
               "--n-edges", file=sys.stderr)
         return 2
@@ -141,11 +170,66 @@ def _run_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_sweep(args: argparse.Namespace) -> int:
+    from .evaluation.sweep import DEFAULT_SHARES
+    from .pipeline import ScoreStore, named_metric, run_sweep
+
+    table = read_edge_csv(args.input, directed=args.directed)
+    codes = [code.strip() for code in args.methods.split(",")
+             if code.strip()]
+    try:
+        methods = [_make_method(code, args.delta) for code in codes]
+        metric = named_metric(args.metric, table)
+        shares = DEFAULT_SHARES if args.shares is None else tuple(
+            float(part) for part in args.shares.split(","))
+        for share in shares:
+            if not 0.0 <= share <= 1.0:
+                raise ValueError(f"share must be in [0, 1], got {share}")
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    store = None if args.cache_dir is None else ScoreStore(args.cache_dir)
+    series = run_sweep(methods, table, metric, shares=shares,
+                       store=store, workers=args.workers)
+
+    header = "share".rjust(7) + "".join(code.rjust(12) for code in codes)
+    print(f"{args.metric} across shares of edges kept")
+    print(header)
+    budgeted = {code: dict(zip(result.shares, result.values))
+                for code, result in series.items()
+                if not result.parameter_free}
+    for share in shares:
+        cells = []
+        for code in codes:
+            value = budgeted.get(code, {}).get(share)
+            cells.append(f"{value:12.4f}" if value is not None
+                         else " " * 8 + "-" * 4)
+        print(f"{share:7.3f}" + "".join(cells))
+    for code, result in series.items():
+        if result.parameter_free and result.shares:
+            print(f"  {code}: {result.values[0]:.4f} at its natural "
+                  f"share {result.shares[0]:.4f}")
+        elif not result.shares:
+            print(f"  {code}: n/a (not applicable to this network)")
+    if store is not None:
+        print(store.stats.summary())
+
+    if args.output:
+        with open(args.output, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["method", "share", "value"])
+            for code in codes:
+                result = series[code]
+                for share, value in zip(result.shares, result.values):
+                    writer.writerow([code, repr(share), repr(value)])
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {"backbone": _run_backbone, "score": _run_score,
-                "info": _run_info}
+                "info": _run_info, "sweep": _run_sweep}
     return handlers[args.command](args)
 
 

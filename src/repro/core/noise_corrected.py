@@ -20,6 +20,7 @@ significance tests), which is why the δ formulation is the default.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -54,6 +55,8 @@ class NoiseCorrectedBackbone(BackboneMethod):
 
     name = "Noise-Corrected"
     code = "NC"
+    # delta shapes only the filter phase; scores/sdev are delta-free.
+    extraction_only_params = ("delta",)
 
     def __init__(self, delta: float = 1.64, use_posterior: bool = True):
         if delta < 0:
@@ -73,28 +76,28 @@ class NoiseCorrectedBackbone(BackboneMethod):
                                     method=self.name, sdev=sdev,
                                     posterior=posterior)
 
-    def extract(self, table: EdgeTable, threshold: Optional[float] = None,
-                share: Optional[float] = None,
-                n_edges: Optional[int] = None) -> EdgeTable:
-        """Extract the backbone.
+    def default_budget(self):
+        """The paper's rule: keep ``(i, j)`` iff ``c_ij - δ·sd(c_ij) > 0``."""
+        return {"threshold": 0.0}
 
-        With no explicit budget, applies the paper's rule: keep edge
-        ``(i, j)`` iff ``c_ij - δ · sd(c_ij) > 0``. With ``share`` or
-        ``n_edges``, ranks edges by the same δ-adjusted score so
-        edge-budget matched comparisons respect the NC ordering.
+    def extract_from_scores(self, scored: ScoredEdges,
+                            threshold: Optional[float] = None,
+                            share: Optional[float] = None,
+                            n_edges: Optional[int] = None) -> EdgeTable:
+        """δ-adjusted extraction on precomputed (possibly cached) scores.
+
+        All budgets (and the default δ rule) rank by
+        ``score - δ·sdev``, so edge-budget matched comparisons respect
+        the NC ordering.
         """
-        chosen = [name for name, value in
-                  (("threshold", threshold), ("share", share),
-                   ("n_edges", n_edges)) if value is not None]
-        if len(chosen) > 1:
-            raise ValueError("give at most one of threshold/share/n_edges, "
-                             f"got {chosen}")
-        scored = self.score(table)
+        threshold, share, n_edges = self._resolve_budget(threshold, share,
+                                                         n_edges)
+        if scored.sdev is None:
+            raise ValueError("NC extraction needs per-edge sdev; these "
+                             "scores carry none")
         adjusted = scored.score - self.delta * scored.sdev
         ranked = ScoredEdges(table=scored.table, score=adjusted,
                              method=self.name, sdev=scored.sdev)
-        if not chosen:
-            return ranked.filter(0.0)
         if threshold is not None:
             return ranked.filter(threshold)
         if share is not None:
@@ -115,10 +118,34 @@ class NoiseCorrectedPValue(BackboneMethod):
     Scores are ``1 - p`` so that "higher is more salient" holds across
     the library; ``extract(threshold=1 - p_cut)`` reproduces a p-value
     cut at ``p_cut``.
+
+    Parameters
+    ----------
+    delta:
+        Significance level expressed on the same scale as the δ
+        formulation: with no explicit budget, :meth:`extract` keeps
+        edges whose p-value is below the one-tailed normal tail of
+        ``delta`` (1.28 / 1.64 / 2.32 map to p < 0.1 / 0.05 / 0.01), so
+        the two NC variants share one strictness knob.
     """
 
     name = "Noise-Corrected (p-value)"
     code = "NCp"
+    extraction_only_params = ("delta",)
+
+    def __init__(self, delta: float = 1.64):
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
+        self.delta = float(delta)
+
+    @property
+    def p_cut(self) -> float:
+        """One-tailed normal p-value equivalent of ``delta``."""
+        return 0.5 * math.erfc(self.delta / math.sqrt(2.0))
+
+    def default_budget(self):
+        """With no explicit budget, keep edges with ``p < p_cut``."""
+        return {"threshold": 1.0 - self.p_cut}
 
     def score(self, table: EdgeTable) -> ScoredEdges:
         from scipy import special

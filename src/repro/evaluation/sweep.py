@@ -9,9 +9,7 @@ paper plots them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
-
-import numpy as np
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..backbones.base import BackboneMethod
 from ..backbones.doubly_stochastic import SinkhornConvergenceError
@@ -47,19 +45,31 @@ def share_sweep(method: BackboneMethod, table: EdgeTable,
         return SweepSeries(code=method.code, shares=[share],
                            values=[metric(backbone)], parameter_free=True)
     scored = method.score(table)
-    values = []
-    for share in shares:
-        backbone = scored.top_share(share)
-        values.append(metric(backbone))
+    values = [metric(backbone)
+              for backbone in scored.top_share_many(shares)]
     return SweepSeries(code=method.code, shares=list(shares),
                        values=values, parameter_free=False)
 
 
 def sweep_methods(methods: Sequence[BackboneMethod], table: EdgeTable,
                   metric: Metric,
-                  shares: Sequence[float] = DEFAULT_SHARES
+                  shares: Sequence[float] = DEFAULT_SHARES,
+                  store=None,
+                  workers: Optional[int] = None
                   ) -> Dict[str, SweepSeries]:
-    """Sweep every method; inapplicable ones map to an empty series."""
+    """Sweep every method; inapplicable ones map to an empty series.
+
+    ``store`` (a :class:`repro.pipeline.ScoreStore`) serves scored
+    tables from cache, and ``workers`` fans methods out across
+    processes; both paths return results bit-identical to the plain
+    serial loop below (the contract asserted by
+    ``benchmarks/bench_pipeline_cache.py``).
+    """
+    if store is not None or workers is not None:
+        # Imported lazily: the pipeline subsystem builds on this module.
+        from ..pipeline.executor import run_sweep
+        return run_sweep(methods, table, metric, shares=shares,
+                         store=store, workers=workers)
     out: Dict[str, SweepSeries] = {}
     for method in methods:
         try:

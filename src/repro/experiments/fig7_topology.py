@@ -16,9 +16,9 @@ import numpy as np
 
 from ..backbones.base import BackboneMethod
 from ..backbones.registry import paper_methods
-from ..evaluation.coverage import coverage
 from ..evaluation.sweep import DEFAULT_SHARES, SweepSeries, sweep_methods
 from ..generators.world import NETWORK_NAMES, SyntheticWorld
+from ..pipeline.tasks import CoverageMetric
 from .report import series_table
 
 
@@ -41,8 +41,14 @@ class Fig7Result:
 def run(world: Optional[SyntheticWorld] = None,
         shares: Sequence[float] = DEFAULT_SHARES,
         networks: Sequence[str] = NETWORK_NAMES,
-        methods: Optional[Sequence[BackboneMethod]] = None) -> Fig7Result:
-    """Regenerate the Fig. 7 sweeps."""
+        methods: Optional[Sequence[BackboneMethod]] = None,
+        store=None, workers: Optional[int] = None) -> Fig7Result:
+    """Regenerate the Fig. 7 sweeps.
+
+    ``store``/``workers`` are handed to the pipeline executor: scored
+    tables come from (and land in) the cache, and methods fan out
+    across processes, without changing any series value.
+    """
     if world is None:
         world = SyntheticWorld(seed=0)
     if methods is None:
@@ -50,9 +56,10 @@ def run(world: Optional[SyntheticWorld] = None,
     sweeps: Dict[str, Dict[str, SweepSeries]] = {}
     for name in networks:
         table = world.network(name, 0)
-        metric = lambda backbone: coverage(table, backbone)  # noqa: E731
+        metric = CoverageMetric(table)
         sweeps[name] = sweep_methods(methods, table, metric,
-                                     shares=shares)
+                                     shares=shares, store=store,
+                                     workers=workers)
     return Fig7Result(shares=list(shares), sweeps=sweeps)
 
 

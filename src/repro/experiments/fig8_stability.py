@@ -15,9 +15,9 @@ import numpy as np
 
 from ..backbones.base import BackboneMethod
 from ..backbones.registry import paper_methods
-from ..evaluation.stability import average_stability
 from ..evaluation.sweep import DEFAULT_SHARES, SweepSeries, sweep_methods
 from ..generators.world import NETWORK_NAMES, SyntheticWorld
+from ..pipeline.tasks import StabilityMetric
 from .report import series_table
 
 
@@ -40,8 +40,13 @@ class Fig8Result:
 def run(world: Optional[SyntheticWorld] = None,
         shares: Sequence[float] = DEFAULT_SHARES,
         networks: Sequence[str] = NETWORK_NAMES,
-        methods: Optional[Sequence[BackboneMethod]] = None) -> Fig8Result:
-    """Regenerate the Fig. 8 sweeps."""
+        methods: Optional[Sequence[BackboneMethod]] = None,
+        store=None, workers: Optional[int] = None) -> Fig8Result:
+    """Regenerate the Fig. 8 sweeps.
+
+    ``store``/``workers`` route the sweeps through the pipeline
+    executor (cached scored tables, process fan-out, identical values).
+    """
     if world is None:
         world = SyntheticWorld(seed=0)
     if methods is None:
@@ -50,9 +55,10 @@ def run(world: Optional[SyntheticWorld] = None,
     for name in networks:
         years = world.years(name)
         table = years[0]
-        metric = lambda backbone: average_stability(years, backbone)  # noqa: E731
+        metric = StabilityMetric(tuple(years))
         sweeps[name] = sweep_methods(methods, table, metric,
-                                     shares=shares)
+                                     shares=shares, store=store,
+                                     workers=workers)
     return Fig8Result(shares=list(shares), sweeps=sweeps)
 
 

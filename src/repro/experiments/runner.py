@@ -36,16 +36,29 @@ class FullReport:
 
 
 def run_all(seed: int = 0, world: Optional[SyntheticWorld] = None,
-            quick: bool = True, tiny: bool = False) -> FullReport:
+            quick: bool = True, tiny: bool = False,
+            workers: Optional[int] = None,
+            cache_dir: Optional[str] = None) -> FullReport:
     """Run every experiment.
 
     ``quick`` shrinks the heavy sweeps to laptop scale; ``tiny`` shrinks
     everything further to CI scale (used by the integration test).
+    ``workers`` fans the sweep-shaped experiments (Figs. 7-8, Table II)
+    out across processes, and ``cache_dir`` backs them with one shared
+    scored-table store — Table II then reuses the tables Fig. 7 already
+    scored. Neither knob changes any reported number.
     """
     if world is None:
         n_countries = 40 if tiny else (80 if quick else 120)
         world = SyntheticWorld(n_countries=n_countries, n_years=3,
                                seed=seed)
+    store = None
+    if cache_dir is not None:
+        from ..pipeline.store import ScoreStore
+        store = ScoreStore(cache_dir)
+    elif workers is not None:
+        from ..pipeline.store import ScoreStore
+        store = ScoreStore()  # share in-process scores across experiments
     results: Dict[str, object] = {}
     sections: Dict[str, str] = {}
 
@@ -70,7 +83,7 @@ def run_all(seed: int = 0, world: Optional[SyntheticWorld] = None,
     add("table1", table1_variance.run(world=world),
         table1_variance.format_result)
     sweep_shares = (0.05, 0.5, 1.0) if tiny else None
-    sweep_kwargs = {"world": world}
+    sweep_kwargs = {"world": world, "store": store, "workers": workers}
     if sweep_shares:
         sweep_kwargs["shares"] = sweep_shares
     add("fig7", fig7_topology.run(**sweep_kwargs),
@@ -79,7 +92,8 @@ def run_all(seed: int = 0, world: Optional[SyntheticWorld] = None,
         fig8_stability.format_result)
     add("table2",
         table2_quality.run(world=world,
-                           budget_share=0.15 if tiny else None),
+                           budget_share=0.15 if tiny else None,
+                           store=store, workers=workers),
         table2_quality.format_result)
     if tiny:
         fig9_result = fig9_scalability.run(fast_sizes=(500, 2_000),

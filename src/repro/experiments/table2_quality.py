@@ -82,36 +82,54 @@ class Table2Result:
 def run(world: Optional[SyntheticWorld] = None,
         networks: Sequence[str] = NETWORK_NAMES,
         methods: Optional[Sequence[BackboneMethod]] = None,
-        budget_share: Optional[float] = None) -> Table2Result:
+        budget_share: Optional[float] = None,
+        store=None, workers: Optional[int] = None) -> Table2Result:
     """Regenerate Table II.
 
     ``budget_share`` overrides the HSS-derived edge budget with an
     explicit share of edges (useful for fast test runs that skip HSS).
+    ``store``/``workers`` route all scoring through a pipeline: each
+    network's methods are pre-scored (optionally in parallel) into the
+    cache, and every budget-matched extraction — including the HSS run
+    that *sets* the budget — reuses those scores. A store shared with
+    Fig. 7/8 skips rescoring here entirely (same tables, same methods).
     """
     if world is None:
         world = SyntheticWorld(seed=0)
     if methods is None:
         methods = paper_methods()
     by_code = {method.code: method for method in methods}
+    pipe = None
+    if store is not None or workers is not None:
+        from ..pipeline.executor import Pipeline
+        pipe = Pipeline(store=store, workers=workers)
 
     ratios: Dict[str, Dict[str, Optional[float]]] = {}
     details: Dict[str, Dict[str, Optional[QualityResult]]] = {}
     budgets: Dict[str, int] = {}
     for name in networks:
         table = world.network(name, 0)
+        if pipe is not None:
+            pipe.warm(methods, table)
+
+        def extract(method, **budget_kwargs):
+            if pipe is None:
+                return method.extract(table, **budget_kwargs)
+            return pipe.extract(method, table, **budget_kwargs)
+
         y, X, _, src, dst = network_design(world, name)
-        budget = _edge_budget(by_code, table, budget_share)
+        budget = _edge_budget(by_code, table, budget_share, extract)
         budgets[name] = budget
         ratios[name] = {}
         details[name] = {}
         for code, method in by_code.items():
             try:
                 if method.parameter_free:
-                    backbone = method.extract(table)
+                    backbone = extract(method)
                 elif code == "HSS" and budget_share is None:
-                    backbone = method.extract(table)  # its own threshold
+                    backbone = extract(method)  # its own threshold
                 else:
-                    backbone = method.extract(table, n_edges=budget)
+                    backbone = extract(method, n_edges=budget)
                 mask = backbone_pair_mask(backbone, src, dst)
                 result = quality_ratio(y, X, mask)
                 ratios[name][code] = result.ratio
@@ -123,13 +141,13 @@ def run(world: Optional[SyntheticWorld] = None,
 
 
 def _edge_budget(by_code: Dict[str, BackboneMethod], table,
-                 budget_share: Optional[float]) -> int:
+                 budget_share: Optional[float], extract) -> int:
     working = table.without_self_loops()
     if budget_share is not None:
         return max(10, int(round(budget_share * working.m)))
     if "HSS" in by_code:
         # The paper's convention: the strict HSS backbone sets the budget.
-        hss_backbone = by_code["HSS"].extract(table)
+        hss_backbone = extract(by_code["HSS"])
         if hss_backbone.m >= 10:
             return hss_backbone.m
     return max(10, int(round(0.1 * working.m)))

@@ -82,7 +82,9 @@ class EdgeTable:
         if coalesce and len(src):
             src, dst, weight = _coalesce(src, dst, weight, n_nodes)
         if labels is not None:
-            labels = tuple(str(label) for label in labels)
+            if not (isinstance(labels, tuple)
+                    and all(type(label) is str for label in labels)):
+                labels = tuple(str(label) for label in labels)
             require(len(labels) == n_nodes,
                     f"labels has length {len(labels)}, expected {n_nodes}")
         self.src = src

@@ -1,0 +1,58 @@
+"""Cached, sharded sweep/experiment orchestration.
+
+The pipeline subsystem turns the library's one-shot "score then filter"
+calls into a service-shaped workload: scored tables are content-
+addressed and cached (:class:`ScoreStore`), whole sweeps are described
+as independent shards (:mod:`repro.pipeline.tasks`) and executed
+serially or across worker processes (:mod:`repro.pipeline.executor`),
+and :class:`Pipeline` serves repeated budget-matched extraction
+requests over one scored graph without ever rescoring.
+
+Typical use::
+
+    from repro.pipeline import Pipeline, ScoreStore, run_sweep
+
+    store = ScoreStore(".repro-cache")          # disk + LRU tiers
+    pipe = Pipeline(store=store, workers=-1)
+    scored = pipe.score(method, table)           # cached
+    backbone = pipe.extract(method, table, share=0.1)   # no rescore
+    series = pipe.sweep(methods, table, DensityMetric())
+
+Cached, sharded and serial paths are bit-identical by construction;
+see :mod:`repro.pipeline.executor` for the contract.
+"""
+
+from .executor import (Pipeline, SweepOutcome, execute, run_sweep,
+                       score_with_store)
+from .fingerprint import (canonical_json, fingerprint_method,
+                          fingerprint_score_request, fingerprint_table,
+                          method_config)
+from .store import CacheStats, ScoreStore
+from .tasks import (AverageDegreeMetric, CoverageMetric, DensityMetric,
+                    EdgeCountMetric, METRIC_BUILDERS, StabilityMetric,
+                    SweepGraph, SweepShard, named_metric, plan_sweep)
+
+__all__ = [
+    "AverageDegreeMetric",
+    "CacheStats",
+    "CoverageMetric",
+    "DensityMetric",
+    "EdgeCountMetric",
+    "METRIC_BUILDERS",
+    "Pipeline",
+    "ScoreStore",
+    "StabilityMetric",
+    "SweepGraph",
+    "SweepOutcome",
+    "SweepShard",
+    "canonical_json",
+    "execute",
+    "fingerprint_method",
+    "fingerprint_score_request",
+    "fingerprint_table",
+    "method_config",
+    "named_metric",
+    "plan_sweep",
+    "run_sweep",
+    "score_with_store",
+]

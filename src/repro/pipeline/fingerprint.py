@@ -1,0 +1,150 @@
+"""Stable content fingerprints for cache keys.
+
+The pipeline cache is content-addressed: a scored table is stored under
+a key derived from *what was scored* (the exact edge table) and *how*
+(the backbone method's code identity plus every score-relevant
+parameter). Two fingerprints therefore collide exactly when rescoring
+would reproduce the same ``ScoredEdges`` bit for bit, which is what
+makes serving cached scores safe.
+
+Fingerprints are hex SHA-256 digests over a canonical byte encoding:
+
+* :func:`fingerprint_table` hashes the directedness flag, node count,
+  labels and the raw ``src``/``dst``/``weight`` arrays (row order
+  included — ``EdgeTable`` construction already canonicalizes order, and
+  derived tables such as ``subset`` outputs are distinct content);
+* :func:`fingerprint_method` hashes the method's class identity and its
+  public configuration (``vars``), skipping knobs that change wall-clock
+  but never scores (``workers``);
+* :func:`fingerprint_score_request` combines both into the store key.
+
+``_SCHEMA_VERSION`` is baked into every digest; bump it whenever the
+encoding (or the serialized ``ScoredEdges`` layout in
+:mod:`repro.pipeline.store`) changes, and stale cache entries simply
+stop being found instead of being misread.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from ..backbones.base import BackboneMethod
+from ..graph.edge_table import EdgeTable
+
+#: Version tag mixed into every fingerprint (see module docstring).
+_SCHEMA_VERSION = 1
+
+#: Method attributes that never influence scores, only execution speed.
+_EXECUTION_ONLY_KEYS = frozenset({"workers"})
+
+
+def canonical_json(payload: object) -> str:
+    """Serialize ``payload`` deterministically (sorted keys, exact floats).
+
+    ``json.dumps`` uses ``repr`` for floats, which round-trips IEEE-754
+    doubles exactly, so equal configurations always produce equal text.
+    Numpy scalars are converted to their Python equivalents first.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=_coerce_scalar)
+
+
+def _coerce_scalar(value: object) -> object:
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"{type(value).__name__} is not fingerprintable")
+
+
+def fingerprint_table(table: EdgeTable) -> str:
+    """Hex digest of an edge table's full content."""
+    digest = hashlib.sha256()
+    digest.update(f"repro.table/v{_SCHEMA_VERSION}".encode())
+    digest.update(b"D" if table.directed else b"U")
+    digest.update(np.int64(table.n_nodes).tobytes())
+    if table.labels is not None:
+        digest.update(canonical_json(list(table.labels)).encode())
+    else:
+        digest.update(b"<unlabeled>")
+    digest.update(np.ascontiguousarray(table.src, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(table.dst, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(table.weight,
+                                       dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+def method_config(method: BackboneMethod) -> Dict[str, object]:
+    """Score-relevant configuration of a method instance.
+
+    Every public instance attribute participates except the
+    execution-only knobs in ``_EXECUTION_ONLY_KEYS`` and the method's
+    own ``extraction_only_params`` (e.g. NC's ``delta`` or k-core's
+    ``k``, which shape the filter phase but never the scores — so
+    different strictness settings share one cached scored table).
+    Methods without instance state (NT, MST, DF) map to an empty
+    configuration.
+    """
+    state = getattr(method, "__dict__", None) or {}
+    skipped = _EXECUTION_ONLY_KEYS.union(
+        getattr(method, "extraction_only_params", ()))
+    return {key: value for key, value in state.items()
+            if not key.startswith("_") and key not in skipped}
+
+
+def fingerprint_method(method: BackboneMethod) -> str:
+    """Hex digest of a method's class identity and configuration."""
+    cls = type(method)
+    identity = {
+        "class": f"{cls.__module__}.{cls.__qualname__}",
+        "code": getattr(method, "code", "??"),
+        "config": method_config(method),
+        "schema": _SCHEMA_VERSION,
+    }
+    return hashlib.sha256(canonical_json(identity).encode()).hexdigest()
+
+
+def fingerprint_score_request(table: EdgeTable, method: BackboneMethod,
+                              table_fingerprint: Optional[str] = None
+                              ) -> str:
+    """Store key for "``method.score(table)``": table x method digest.
+
+    Callers looping many methods over one table pass the precomputed
+    ``table_fingerprint`` so the O(edges) table hash runs once per
+    sweep instead of once per method.
+    """
+    combined = hashlib.sha256()
+    combined.update(f"repro.score/v{_SCHEMA_VERSION}".encode())
+    if table_fingerprint is None:
+        table_fingerprint = fingerprint_table(table)
+    combined.update(table_fingerprint.encode())
+    combined.update(fingerprint_method(method).encode())
+    return combined.hexdigest()
+
+
+def fingerprint_arrays(arrays: Iterable[Optional[np.ndarray]]) -> str:
+    """Payload digest over a sequence of (possibly absent) arrays.
+
+    Used by the store to detect corrupted or tampered on-disk entries:
+    the digest written at ``put`` time must match the digest of the
+    arrays read back at ``get`` time.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"repro.payload/v{_SCHEMA_VERSION}".encode())
+    for array in arrays:
+        if array is None:
+            digest.update(b"<absent>")
+            continue
+        array = np.ascontiguousarray(array)
+        digest.update(str(array.dtype).encode())
+        digest.update(np.int64(array.size).tobytes())
+        digest.update(array.tobytes())
+    return digest.hexdigest()

@@ -1,0 +1,302 @@
+"""Two-tier content-addressed cache for scored edge tables.
+
+``ScoreStore`` answers "has this exact table already been scored by
+this exact method configuration?" It layers
+
+1. an in-process LRU of live ``ScoredEdges`` objects (hot path: repeated
+   budget-matched extractions inside one process skip even the disk),
+2. over an optional content-addressed on-disk directory where every
+   entry is an ``.npz`` arrays file plus a human-readable ``.json``
+   sidecar (warm path: re-runs, other processes and sharded workers).
+
+Disk entries are self-verifying: the sidecar records a digest of the
+stored arrays, and :meth:`ScoreStore.get` recomputes it on load. A
+poisoned, truncated or otherwise corrupt entry therefore *misses*
+(and is recomputed and overwritten) instead of being served.
+
+All traffic is counted in :class:`CacheStats`, which the executor
+surfaces so sweeps can report hit rates alongside their results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import zipfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from ..backbones.base import ScoredEdges
+from ..graph.edge_table import EdgeTable
+from .fingerprint import _SCHEMA_VERSION, fingerprint_arrays
+
+PathLike = Union[str, Path]
+
+#: Default capacity of the in-process LRU tier. Sized to hold a full
+#: paper sweep working set (6 networks x 8 methods) with headroom, so
+#: repeated in-process sweeps never touch the disk tier.
+DEFAULT_MEMORY_ITEMS = 64
+
+
+@dataclass
+class CacheStats:
+    """Counters for one store's lifetime of traffic."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total hits across both tiers."""
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def requests(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from either tier."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        """Fold another stats object (e.g. a worker's) into this one."""
+        self.memory_hits += other.memory_hits
+        self.disk_hits += other.disk_hits
+        self.misses += other.misses
+        self.puts += other.puts
+        self.evictions += other.evictions
+        self.corrupt += other.corrupt
+
+    def summary(self) -> str:
+        """One-line human-readable account."""
+        return (f"cache: {self.hits}/{self.requests} hits "
+                f"({self.hit_rate:.0%}; memory {self.memory_hits}, "
+                f"disk {self.disk_hits}), {self.puts} puts, "
+                f"{self.evictions} evictions, {self.corrupt} corrupt")
+
+
+class ScoreStore:
+    """Two-tier cache mapping fingerprint keys to ``ScoredEdges``.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the on-disk tier. ``None`` keeps the store purely
+        in-memory (still useful for repeated extractions in-process).
+        Created on first write.
+    memory_items:
+        Capacity of the in-process LRU tier; ``0`` disables it.
+    """
+
+    def __init__(self, cache_dir: Optional[PathLike] = None,
+                 memory_items: int = DEFAULT_MEMORY_ITEMS):
+        if memory_items < 0:
+            raise ValueError("memory_items must be non-negative")
+        self.cache_dir = None if cache_dir is None else Path(cache_dir)
+        self.memory_items = int(memory_items)
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[str, ScoredEdges]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[ScoredEdges]:
+        """Return the cached scores under ``key``, or ``None`` on miss."""
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return cached
+        loaded = self._load_disk(key)
+        if loaded is not None:
+            self.stats.disk_hits += 1
+            self._remember(key, loaded)
+            return loaded
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, scored: ScoredEdges) -> None:
+        """Insert ``scored`` under ``key`` in both tiers."""
+        self.stats.puts += 1
+        self._remember(key, scored)
+        if self.cache_dir is not None:
+            self._write_disk(key, scored)
+
+    def get_or_compute(self, key: str,
+                       compute: Callable[[], ScoredEdges]) -> ScoredEdges:
+        """Serve ``key`` from cache, or run ``compute`` and cache it."""
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        scored = compute()
+        self.put(key, scored)
+        return scored
+
+    def adopt(self, key: str, scored: ScoredEdges) -> None:
+        """Insert an entry computed elsewhere without counting traffic.
+
+        The executor folds worker-computed scores into the parent store
+        through this: the worker's own store already counted the miss
+        and the put, so adopting must not double-count (and must not
+        rewrite a complete disk entry the worker already produced).
+        """
+        self._remember(key, scored)
+        if self.cache_dir is not None and not self._has_disk(key):
+            self._write_disk(key, scored)
+
+    def memory_entries(self):
+        """Snapshot of the in-process tier as ``(key, scored)`` pairs."""
+        return list(self._memory.items())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory or self._has_disk(key)
+
+    def __len__(self) -> int:
+        disk = 0
+        if self.cache_dir is not None and self.cache_dir.exists():
+            disk = sum(1 for npz in self.cache_dir.glob("*/*.npz")
+                       if npz.with_suffix(".json").exists())
+        memory_only = sum(1 for key in self._memory
+                          if not self._has_disk(key))
+        return disk + memory_only
+
+    def _has_disk(self, key: str) -> bool:
+        """True when a *complete* entry (arrays + sidecar) is on disk."""
+        if self.cache_dir is None:
+            return False
+        npz_path, json_path = self._paths(key)
+        return npz_path.exists() and json_path.exists()
+
+    def clear_memory(self) -> None:
+        """Drop the in-process tier (disk entries survive)."""
+        self._memory.clear()
+
+    # ------------------------------------------------------------------
+    # In-memory tier
+    # ------------------------------------------------------------------
+
+    def _remember(self, key: str, scored: ScoredEdges) -> None:
+        if self.memory_items == 0:
+            return
+        self._memory[key] = scored
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_items:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Disk tier
+    # ------------------------------------------------------------------
+
+    def _paths(self, key: str) -> tuple:
+        shard = self.cache_dir / key[:2]
+        return shard / f"{key}.npz", shard / f"{key}.json"
+
+    def _write_disk(self, key: str, scored: ScoredEdges) -> None:
+        table = scored.table
+        arrays = {
+            "src": np.ascontiguousarray(table.src, dtype=np.int64),
+            "dst": np.ascontiguousarray(table.dst, dtype=np.int64),
+            "weight": np.ascontiguousarray(table.weight, dtype=np.float64),
+            "score": np.ascontiguousarray(scored.score, dtype=np.float64),
+        }
+        if scored.sdev is not None:
+            arrays["sdev"] = np.ascontiguousarray(scored.sdev,
+                                                  dtype=np.float64)
+        meta = {
+            "schema": _SCHEMA_VERSION,
+            "key": key,
+            "method": scored.method,
+            "n_nodes": table.n_nodes,
+            "directed": table.directed,
+            "labels": None if table.labels is None else list(table.labels),
+            "info": scored.info,
+            "payload_sha256": fingerprint_arrays(
+                [arrays["src"], arrays["dst"], arrays["weight"],
+                 arrays["score"], arrays.get("sdev")]),
+        }
+        try:
+            meta_text = json.dumps(meta, sort_keys=True, indent=1)
+        except TypeError:
+            # Non-JSON-serializable method info: keep the entry purely
+            # in-memory rather than persisting something unreadable.
+            return
+        npz_path, json_path = self._paths(key)
+        npz_path.parent.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename so no file ever has partial contents under
+        # its final name; a crash *between* the two renames leaves an
+        # incomplete pair, which _load_disk quarantines on first read.
+        self._atomic_write(npz_path, lambda handle: np.savez(handle,
+                                                             **arrays))
+        self._atomic_write(json_path,
+                           lambda handle: handle.write(meta_text.encode()))
+
+    def _atomic_write(self, path: Path, write: Callable) -> None:
+        descriptor, temp_name = tempfile.mkstemp(dir=path.parent,
+                                                 prefix=path.name + ".")
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                write(handle)
+            os.replace(temp_name, path)
+        except BaseException:
+            if os.path.exists(temp_name):
+                os.unlink(temp_name)
+            raise
+
+    def _load_disk(self, key: str) -> Optional[ScoredEdges]:
+        if self.cache_dir is None:
+            return None
+        npz_path, json_path = self._paths(key)
+        npz_exists, json_exists = npz_path.exists(), json_path.exists()
+        if not (npz_exists and json_exists):
+            if npz_exists or json_exists:
+                # Half-written remnant (crash between the two atomic
+                # renames): clear it so the entry can be rewritten.
+                self._quarantine(key)
+            return None
+        try:
+            meta = json.loads(json_path.read_text())
+            with np.load(npz_path) as payload:
+                src = payload["src"]
+                dst = payload["dst"]
+                weight = payload["weight"]
+                score = payload["score"]
+                sdev = payload["sdev"] if "sdev" in payload.files else None
+        except (OSError, ValueError, KeyError, json.JSONDecodeError,
+                zipfile.BadZipFile):
+            self._quarantine(key)
+            return None
+        if meta.get("schema") != _SCHEMA_VERSION:
+            return None
+        digest = fingerprint_arrays([src, dst, weight, score, sdev])
+        if digest != meta.get("payload_sha256"):
+            self._quarantine(key)
+            return None
+        labels = meta.get("labels")
+        table = EdgeTable(src, dst, weight, n_nodes=int(meta["n_nodes"]),
+                          directed=bool(meta["directed"]),
+                          labels=labels, coalesce=False)
+        return ScoredEdges(table=table, score=score,
+                           method=str(meta["method"]), sdev=sdev,
+                           info=meta.get("info"))
+
+    def _quarantine(self, key: str) -> None:
+        """Drop a corrupt entry so the next put can rewrite it."""
+        self.stats.corrupt += 1
+        for path in self._paths(key):
+            try:
+                path.unlink()
+            except OSError:
+                pass

@@ -72,6 +72,76 @@ class TestBackboneCommand:
                   "--n-edges", "3"])
 
 
+class TestNCpDelta:
+    def test_delta_reaches_ncp(self):
+        """Regression: --delta used to be silently dropped for NCp."""
+        from repro.cli import _make_method
+
+        strict = _make_method("NCp", 3.0)
+        loose = _make_method("NCp", 0.5)
+        assert strict.delta == 3.0
+        assert loose.delta == 0.5
+        assert strict.p_cut < loose.p_cut
+
+    def test_ncp_extracts_without_budget(self, edges_csv, tmp_path):
+        out = tmp_path / "backbone.csv"
+        assert main(["backbone", str(edges_csv), str(out), "--method",
+                     "NCp"]) == 0
+        backbone = read_edge_csv(out, directed=False)
+        original = read_edge_csv(edges_csv, directed=False)
+        assert 0 < backbone.m <= original.m
+
+    def test_ncp_delta_changes_strictness(self, edges_csv, tmp_path):
+        loose_out = tmp_path / "loose.csv"
+        strict_out = tmp_path / "strict.csv"
+        assert main(["backbone", str(edges_csv), str(loose_out),
+                     "--method", "NCp", "--delta", "0.1"]) == 0
+        assert main(["backbone", str(edges_csv), str(strict_out),
+                     "--method", "NCp", "--delta", "3.0"]) == 0
+        loose = read_edge_csv(loose_out, directed=False)
+        strict = read_edge_csv(strict_out, directed=False)
+        assert strict.m < loose.m
+
+
+class TestSweepCommand:
+    def test_sweep_prints_series(self, edges_csv, capsys):
+        assert main(["sweep", str(edges_csv), "--methods", "NT,DF,MST",
+                     "--metric", "density", "--shares", "0.2,0.6"]) == 0
+        out = capsys.readouterr().out
+        assert "density across shares" in out
+        assert "NT" in out and "DF" in out
+        assert "MST" in out and "natural share" in out
+
+    def test_sweep_cache_dir_round_trip(self, edges_csv, tmp_path,
+                                        capsys):
+        cache = tmp_path / "cache"
+        argv = ["sweep", str(edges_csv), "--methods", "NT,NC",
+                "--metric", "coverage", "--cache-dir", str(cache)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "cache:" in cold and "cache:" in warm
+        # Identical series; the second run is served from the store.
+        strip = lambda text: [line for line in text.splitlines()  # noqa: E731
+                              if not line.startswith("cache:")]
+        assert strip(cold) == strip(warm)
+        assert any(f.suffix == ".npz" for f in cache.rglob("*"))
+
+    def test_sweep_writes_output_csv(self, edges_csv, tmp_path):
+        out = tmp_path / "series.csv"
+        assert main(["sweep", str(edges_csv), "--methods", "NT",
+                     "--metric", "edges", "--shares", "0.5",
+                     "--output", str(out)]) == 0
+        lines = out.read_text().splitlines()
+        assert lines[0] == "method,share,value"
+        assert lines[1].startswith("NT,0.5,")
+
+    def test_sweep_rejects_unknown_metric(self, edges_csv, capsys):
+        assert main(["sweep", str(edges_csv), "--metric", "bogus"]) == 2
+        assert "unknown metric" in capsys.readouterr().err
+
+
 class TestScoreCommand:
     def test_nc_scores_include_sdev(self, edges_csv, tmp_path):
         out = tmp_path / "scored.csv"
