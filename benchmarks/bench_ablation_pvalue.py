@@ -8,8 +8,6 @@ the two rankings broadly agree on what matters — recovery of a planted
 backbone — while only the delta variant offers uncertainty output.
 """
 
-import numpy as np
-
 from conftest import emit
 
 from repro.core import NoiseCorrectedBackbone, NoiseCorrectedPValue

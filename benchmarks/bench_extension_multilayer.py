@@ -7,8 +7,6 @@ and the coupled null discounts edges that ride on cross-layer hub
 propensity.
 """
 
-import numpy as np
-
 from conftest import emit
 
 from repro.core import MultilayerNetwork, multilayer_noise_corrected

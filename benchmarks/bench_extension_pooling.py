@@ -34,7 +34,6 @@ def run_extension(world):
     # Controlled change experiment: two draws from one latent intensity.
     rng = np.random.default_rng(7)
     lam = world.latent_intensity("trade")
-    n = lam.shape[0]
     before = EdgeTable.from_dense(rng.poisson(lam).astype(float),
                                   directed=True)
     same = EdgeTable.from_dense(rng.poisson(lam).astype(float),

@@ -11,6 +11,12 @@ import pytest
 from repro.generators import SyntheticWorld, generate_occupation_study
 
 
+def pytest_collection_modifyitems(items):
+    """Every benchmark is tier-2: marked ``slow`` for CI selection."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def world():
     """Paper-scale synthetic country world (shared across benchmarks)."""

@@ -40,5 +40,6 @@ for name in ("trade", "migration", "country_space"):
 
     print(format_table(
         ["method", "edges", "coverage", "quality", "stability"], rows,
-        title=f"\n=== {name} ({'directed' if table.directed else 'undirected'}, "
+        title=f"\n=== {name} "
+              f"({'directed' if table.directed else 'undirected'}, "
               f"{table.m} edges, budget {budget}) ==="))

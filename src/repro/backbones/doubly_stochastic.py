@@ -27,7 +27,16 @@ from .base import BackboneMethod, ScoredEdges, prepare_table
 
 
 class SinkhornConvergenceError(RuntimeError):
-    """Raised when the doubly-stochastic transformation is impossible."""
+    """Raised when the doubly-stochastic transformation is impossible.
+
+    Whether a network can be balanced is a property of the network
+    itself, so the verdict is deterministic per (table, method) pair;
+    ``cache_negative`` marks the failure as cacheable, letting the
+    pipeline store record it once instead of re-running the
+    ``max_iterations`` Sinkhorn probe on every sweep.
+    """
+
+    cache_negative = "sinkhorn-nonconvergence"
 
 
 def sinkhorn_knopp(table: EdgeTable, max_iterations: int = 1000,

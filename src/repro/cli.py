@@ -14,6 +14,13 @@ Examples
     python -m repro.cli info edges.csv
     python -m repro.cli sweep edges.csv --metric density --workers -1 \
         --cache-dir .repro-cache
+    python -m repro.cli cache stats .repro-cache
+    python -m repro.cli cache gc .repro-cache --max-bytes 100000000
+    python -m repro.cli cache migrate .repro-cache scores.sqlite
+
+Cache locations (``--cache-dir`` and the ``cache`` subcommands) accept
+a directory path, a ``.sqlite``/``.db`` file, or an explicit
+``sqlite://``/``dir://`` spec.
 """
 
 from __future__ import annotations
@@ -86,11 +93,37 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", type=int,
                        help="process fan-out; -1 = one per CPU")
     sweep.add_argument("--cache-dir",
-                       help="directory for the scored-table cache; "
-                            "reruns skip rescoring")
+                       help="scored-table cache location (directory, "
+                            ".sqlite file or sqlite:// spec); reruns "
+                            "skip rescoring")
     sweep.add_argument("--output",
                        help="also write method,share,value rows to this "
                             "CSV")
+
+    cache = commands.add_parser(
+        "cache", help="inspect and manage scored-table caches")
+    cache_commands = cache.add_subparsers(dest="cache_command",
+                                          required=True)
+    cache_stats = cache_commands.add_parser(
+        "stats", help="entry count, byte total and idle ages of a cache")
+    cache_stats.add_argument("store", help="cache location (directory, "
+                                           ".sqlite file or spec)")
+    cache_gc = cache_commands.add_parser(
+        "gc", help="evict least-recently-used entries until bounds hold")
+    cache_gc.add_argument("store", help="cache location")
+    cache_gc.add_argument("--max-bytes", type=int,
+                          help="keep at most this many payload bytes")
+    cache_gc.add_argument("--max-entries", type=int,
+                          help="keep at most this many entries")
+    cache_gc.add_argument("--max-age-days", type=float,
+                          help="evict entries idle longer than this")
+    cache_gc.add_argument("--dry-run", action="store_true",
+                          help="report what would be evicted; delete "
+                               "nothing")
+    cache_migrate = cache_commands.add_parser(
+        "migrate", help="copy every entry into another backend")
+    cache_migrate.add_argument("source", help="cache to copy from")
+    cache_migrate.add_argument("dest", help="cache to copy into")
     return parser
 
 
@@ -225,11 +258,79 @@ def _run_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_cache(args: argparse.Namespace) -> int:
+    from .pipeline.backends import open_backend
+
+    try:
+        if args.cache_command == "stats":
+            return _cache_stats(open_backend(args.store))
+        if args.cache_command == "gc":
+            return _cache_gc(open_backend(args.store), args)
+        return _cache_migrate(open_backend(args.source),
+                              open_backend(args.dest))
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _cache_stats(backend) -> int:
+    infos = backend.entries()
+    negatives = sum(1 for info in infos if info.negative)
+    print(f"backend:  {backend.describe()}")
+    print(f"entries:  {len(infos)} ({negatives} negative)")
+    print(f"bytes:    {sum(info.size for info in infos)}")
+    if infos:
+        import time as _time
+
+        now = _time.time()
+        idle = [max(0.0, now - info.last_access) for info in infos]
+        print(f"idle:     min {min(idle):.0f}s, max {max(idle):.0f}s")
+    return 0
+
+
+def _cache_gc(backend, args: argparse.Namespace) -> int:
+    from .pipeline.backends import GCPolicy, run_gc
+
+    max_age = None if args.max_age_days is None \
+        else args.max_age_days * 86_400.0
+    try:
+        policy = GCPolicy(max_bytes=args.max_bytes,
+                          max_entries=args.max_entries, max_age=max_age)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    result = run_gc(backend, policy, dry_run=args.dry_run)
+    print(result.summary())
+    return 0
+
+
+def _cache_migrate(source, dest) -> int:
+    from .pipeline.backends import BackendCorruption
+
+    copied = skipped = 0
+    for key in source.keys():
+        try:
+            raw = source.get(key, touch=False)
+        except BackendCorruption:
+            skipped += 1
+            continue
+        if raw is None:
+            skipped += 1
+            continue
+        dest.put(key, raw)
+        copied += 1
+    print(f"migrated {copied} entries from {source.describe()} "
+          f"to {dest.describe()}"
+          + (f" ({skipped} corrupt/missing skipped)" if skipped else ""))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {"backbone": _run_backbone, "score": _run_score,
-                "info": _run_info, "sweep": _run_sweep}
+                "info": _run_info, "sweep": _run_sweep,
+                "cache": _run_cache}
     return handlers[args.command](args)
 
 

@@ -17,8 +17,6 @@ node ``i`` is ``p_i = s_i / 2W``; module exit rates are cut weights over
 
 from __future__ import annotations
 
-from typing import Dict, List
-
 import numpy as np
 
 from ..generators.seeds import SeedLike, make_rng

@@ -11,7 +11,7 @@ communities into super-nodes, repeated until no gain remains.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

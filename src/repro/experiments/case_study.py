@@ -22,7 +22,7 @@ flow correlation .390 (full) < .431 (DF) < .454 (NC).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 

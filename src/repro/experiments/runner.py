@@ -46,7 +46,10 @@ def run_all(seed: int = 0, world: Optional[SyntheticWorld] = None,
     ``workers`` fans the sweep-shaped experiments (Figs. 7-8, Table II)
     out across processes, and ``cache_dir`` backs them with one shared
     scored-table store — Table II then reuses the tables Fig. 7 already
-    scored. Neither knob changes any reported number.
+    scored. ``cache_dir`` accepts any backend spec
+    (:func:`repro.pipeline.backends.open_backend`): a directory path,
+    a ``.sqlite`` file, or ``sqlite://``/``kv://`` URLs. Neither knob
+    changes any reported number.
     """
     if world is None:
         n_countries = 40 if tiny else (80 if quick else 120)

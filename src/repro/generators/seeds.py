@@ -7,7 +7,7 @@ pipelines are reproducible run-to-run.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Union
 
 import numpy as np
 

@@ -64,6 +64,7 @@ class UnionFind:
 
     def component_labels(self) -> np.ndarray:
         """Return an array mapping each element to a dense component id."""
-        roots = np.array([self.find(i) for i in range(len(self))], dtype=np.int64)
+        roots = np.array([self.find(i) for i in range(len(self))],
+                         dtype=np.int64)
         _, labels = np.unique(roots, return_inverse=True)
         return labels.astype(np.int64)

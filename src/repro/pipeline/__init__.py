@@ -18,10 +18,19 @@ Typical use::
     backbone = pipe.extract(method, table, share=0.1)   # no rescore
     series = pipe.sweep(methods, table, DensityMetric())
 
+The persistent tier is pluggable (:mod:`repro.pipeline.backends`):
+``ScoreStore("scores.sqlite")`` keeps the cache in one WAL-mode SQLite
+file, ``ScoreStore(backend=KVBackend(...))`` talks to a remote-style
+key-value service, and ``store.gc(max_bytes=...)`` evicts
+least-recently-used entries from any of them.
+
 Cached, sharded and serial paths are bit-identical by construction;
 see :mod:`repro.pipeline.executor` for the contract.
 """
 
+from .backends import (DirectoryBackend, GCPolicy, GCResult, KVBackend,
+                       NegativeEntry, SQLiteBackend, StoreBackend,
+                       open_backend)
 from .executor import (Pipeline, SweepOutcome, execute, run_sweep,
                        score_with_store)
 from .fingerprint import (canonical_json, fingerprint_method,
@@ -37,10 +46,17 @@ __all__ = [
     "CacheStats",
     "CoverageMetric",
     "DensityMetric",
+    "DirectoryBackend",
     "EdgeCountMetric",
+    "GCPolicy",
+    "GCResult",
+    "KVBackend",
     "METRIC_BUILDERS",
+    "NegativeEntry",
     "Pipeline",
+    "SQLiteBackend",
     "ScoreStore",
+    "StoreBackend",
     "StabilityMetric",
     "SweepGraph",
     "SweepOutcome",
@@ -52,6 +68,7 @@ __all__ = [
     "fingerprint_table",
     "method_config",
     "named_metric",
+    "open_backend",
     "plan_sweep",
     "run_sweep",
     "score_with_store",

@@ -1,0 +1,87 @@
+"""Pluggable persistent tiers for :class:`repro.pipeline.ScoreStore`.
+
+Pick a backend explicitly::
+
+    from repro.pipeline.backends import SQLiteBackend
+    store = ScoreStore(backend=SQLiteBackend("scores.sqlite"))
+
+or by spec string — accepted anywhere a cache location is (the
+``ScoreStore(cache_dir=...)`` argument, ``run_all(cache_dir=...)``,
+the CLI ``--cache-dir`` flag and ``repro cache`` commands)::
+
+    .repro-cache              directory of npz + JSON entries
+    dir://.repro-cache        same, explicit
+    scores.sqlite             single WAL-mode SQLite file (by suffix)
+    sqlite://path/to/scores   same, explicit
+    kv://                     fresh in-memory KV client (testing)
+
+See :mod:`repro.pipeline.backends.base` for the interface contract and
+the shared GC machinery.
+"""
+
+from pathlib import Path
+from typing import Union
+
+from .base import (BackendCorruption, BackendStats, EntryInfo, GCPolicy,
+                   GCResult, RawEntry, StoreBackend, run_gc)
+from .codec import (EntryCorrupt, EntryDecodeError, EntryEncodeError,
+                    NegativeEntry, SchemaMismatch, decode_entry,
+                    encode_negative, encode_scored)
+from .directory import DirectoryBackend
+from .kv import (InMemoryKVServer, KVBackend, KVTimeoutError,
+                 KVTransientError, KVUnavailableError)
+from .sqlite import SQLiteBackend
+
+#: File suffixes routed to :class:`SQLiteBackend` by :func:`open_backend`.
+SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+
+def open_backend(target: Union[str, Path, StoreBackend]) -> StoreBackend:
+    """Resolve a backend instance or spec string to a backend.
+
+    Accepts an existing :class:`StoreBackend` (returned as-is), an
+    explicit ``dir://``, ``sqlite://`` or ``kv://`` spec, a path with a
+    SQLite suffix (``.sqlite``, ``.sqlite3``, ``.db``), or any other
+    path (treated as an entry directory).
+    """
+    if isinstance(target, StoreBackend):
+        return target
+    text = str(target)
+    if text.startswith("sqlite://"):
+        return SQLiteBackend(text[len("sqlite://"):])
+    if text.startswith("dir://"):
+        return DirectoryBackend(text[len("dir://"):])
+    if text.startswith("kv://"):
+        return KVBackend()
+    if Path(text).suffix.lower() in SQLITE_SUFFIXES:
+        return SQLiteBackend(text)
+    return DirectoryBackend(text)
+
+
+__all__ = [
+    "BackendCorruption",
+    "BackendStats",
+    "DirectoryBackend",
+    "EntryCorrupt",
+    "EntryDecodeError",
+    "EntryEncodeError",
+    "EntryInfo",
+    "GCPolicy",
+    "GCResult",
+    "InMemoryKVServer",
+    "KVBackend",
+    "KVTimeoutError",
+    "KVTransientError",
+    "KVUnavailableError",
+    "NegativeEntry",
+    "RawEntry",
+    "SQLITE_SUFFIXES",
+    "SQLiteBackend",
+    "SchemaMismatch",
+    "StoreBackend",
+    "decode_entry",
+    "encode_negative",
+    "encode_scored",
+    "open_backend",
+    "run_gc",
+]

@@ -1,0 +1,232 @@
+"""Backend interface for the persistent tier of :class:`ScoreStore`.
+
+A backend is a raw key → entry map: it moves opaque ``RawEntry`` records
+(a JSON-safe metadata dict plus optional payload bytes) in and out of
+some durable medium, records a last-access timestamp per entry, and
+answers aggregate size questions. It never interprets the payload —
+serializing ``ScoredEdges`` to bytes and verifying digests is the
+codec's job (:mod:`repro.pipeline.backends.codec`), and hit/miss
+accounting is the store's (:mod:`repro.pipeline.store`).
+
+Three implementations ship with the library:
+
+* :class:`~repro.pipeline.backends.directory.DirectoryBackend` — the
+  original content-addressed ``.npz`` + JSON-sidecar directory,
+  format-compatible with caches written before backends existed;
+* :class:`~repro.pipeline.backends.sqlite.SQLiteBackend` — a single
+  WAL-mode SQLite file, friendlier to thousands of entries (no inode
+  blowup) and to being copied between machines;
+* :class:`~repro.pipeline.backends.kv.KVBackend` — a remote-style
+  key-value client with retry/timeout semantics, the seam for a future
+  object-store or network cache service.
+
+On top of the interface, :func:`run_gc` implements the shared eviction
+policy (:class:`GCPolicy`): max bytes / max entries / max age, evicting
+least-recently-accessed entries first.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class BackendCorruption(Exception):
+    """A raw entry (or the medium under it) is damaged beyond reading.
+
+    Backends raise this from :meth:`StoreBackend.get` after clearing
+    whatever remnant they can, so the caller counts the corruption and
+    treats the lookup as a miss.
+    """
+
+
+@dataclass(frozen=True)
+class RawEntry:
+    """One stored record: JSON-safe metadata plus optional payload bytes.
+
+    ``payload`` holds the serialized arrays (an ``.npz`` archive) for
+    scored tables and is ``None`` for metadata-only records such as
+    cached negative results.
+    """
+
+    meta: Dict[str, object]
+    payload: Optional[bytes] = None
+
+
+@dataclass(frozen=True)
+class EntryInfo:
+    """Accounting view of one stored entry, as used by GC and stats.
+
+    ``negative`` marks metadata-only negative-result entries (they have
+    no payload), so stats displays can count them without fetching
+    every entry's payload.
+    """
+
+    key: str
+    size: int
+    last_access: float
+    negative: bool = False
+
+
+@dataclass(frozen=True)
+class BackendStats:
+    """Aggregate size of a backend's contents."""
+
+    entries: int = 0
+    bytes: int = 0
+
+
+class StoreBackend(ABC):
+    """Abstract persistent tier: a durable ``key -> RawEntry`` map."""
+
+    #: URL-ish scheme naming the backend kind (for display and specs).
+    scheme: str = "abstract"
+
+    @abstractmethod
+    def get(self, key: str, touch: bool = True) -> Optional[RawEntry]:
+        """Return the raw entry under ``key`` or ``None``.
+
+        ``touch`` (the default) records the access for LRU eviction;
+        pass ``False`` for administrative reads (migration, stats).
+
+        Raises
+        ------
+        BackendCorruption
+            When the stored record cannot be read at the raw level
+            (half-written file pair, unreadable medium). The backend
+            clears what it can before raising.
+        """
+
+    @abstractmethod
+    def put(self, key: str, entry: RawEntry) -> None:
+        """Durably store ``entry`` under ``key`` (replacing any old one)."""
+
+    @abstractmethod
+    def contains(self, key: str) -> bool:
+        """True when a complete entry is stored under ``key``."""
+
+    @abstractmethod
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; return whether anything was removed."""
+
+    @abstractmethod
+    def keys(self) -> List[str]:
+        """Keys of every complete stored entry."""
+
+    @abstractmethod
+    def entries(self) -> List[EntryInfo]:
+        """Per-entry accounting info (sizes, last access) for GC."""
+
+    def stats(self) -> BackendStats:
+        """Aggregate entry count and byte total."""
+        infos = self.entries()
+        return BackendStats(entries=len(infos),
+                            bytes=sum(info.size for info in infos))
+
+    def peek_meta(self, key: str) -> Optional[Dict[str, object]]:
+        """Metadata of ``key`` without touching it (or its payload,
+        where the backend can avoid reading one)."""
+        entry = self.get(key, touch=False)
+        return None if entry is None else entry.meta
+
+    def spec(self) -> Optional[str]:
+        """Picklable descriptor another process can reopen, or ``None``
+        when the backend's contents are process-local."""
+        return None
+
+    def close(self) -> None:
+        """Release any handles; the backend may not be used afterwards."""
+
+    def describe(self) -> str:
+        """Human-readable one-liner for CLI output."""
+        return self.spec() or self.scheme
+
+
+# ----------------------------------------------------------------------
+# Garbage collection
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GCPolicy:
+    """Eviction bounds for a long-lived cache.
+
+    Any combination of bounds may be set; at least one must be. Entries
+    idle longer than ``max_age`` seconds are always evicted; beyond
+    that, least-recently-accessed entries go first until both the
+    ``max_entries`` and ``max_bytes`` bounds hold.
+    """
+
+    max_bytes: Optional[int] = None
+    max_entries: Optional[int] = None
+    max_age: Optional[float] = None
+
+    def __post_init__(self):
+        bounds = (self.max_bytes, self.max_entries, self.max_age)
+        if all(bound is None for bound in bounds):
+            raise ValueError("GCPolicy needs at least one bound "
+                             "(max_bytes, max_entries or max_age)")
+        for name, bound in (("max_bytes", self.max_bytes),
+                            ("max_entries", self.max_entries),
+                            ("max_age", self.max_age)):
+            if bound is not None and bound < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class GCResult:
+    """Outcome of one GC pass."""
+
+    scanned: int
+    deleted: int
+    freed_bytes: int
+    kept: int
+    kept_bytes: int
+    deleted_keys: Tuple[str, ...] = field(default=())
+    dry_run: bool = False
+
+    def summary(self) -> str:
+        verb = "would delete" if self.dry_run else "deleted"
+        return (f"gc: {verb} {self.deleted}/{self.scanned} entries "
+                f"({self.freed_bytes} bytes); {self.kept} entries "
+                f"({self.kept_bytes} bytes) remain")
+
+
+def run_gc(backend: StoreBackend, policy: GCPolicy,
+           clock=time.time, dry_run: bool = False) -> GCResult:
+    """Apply ``policy`` to ``backend``, evicting LRU-first.
+
+    Age-expired entries are always evicted; then the oldest-accessed
+    survivors are dropped until the entry-count and byte bounds hold.
+    With ``dry_run`` nothing is deleted and the result reports what a
+    real pass would have removed.
+    """
+    infos = sorted(backend.entries(), key=lambda info: info.last_access)
+    now = clock()
+    doomed: Dict[str, EntryInfo] = {}
+    survivors: List[EntryInfo] = []
+    for info in infos:
+        if policy.max_age is not None \
+                and now - info.last_access > policy.max_age:
+            doomed[info.key] = info
+        else:
+            survivors.append(info)
+    if policy.max_entries is not None:
+        while len(survivors) > policy.max_entries:
+            info = survivors.pop(0)
+            doomed[info.key] = info
+    if policy.max_bytes is not None:
+        remaining = sum(info.size for info in survivors)
+        while survivors and remaining > policy.max_bytes:
+            info = survivors.pop(0)
+            doomed[info.key] = info
+            remaining -= info.size
+    if not dry_run:
+        for key in doomed:
+            backend.delete(key)
+    return GCResult(scanned=len(infos), deleted=len(doomed),
+                    freed_bytes=sum(info.size for info in doomed.values()),
+                    kept=len(survivors),
+                    kept_bytes=sum(info.size for info in survivors),
+                    deleted_keys=tuple(doomed), dry_run=dry_run)

@@ -1,0 +1,210 @@
+"""Entry serialization shared by every store backend.
+
+The codec turns a :class:`~repro.backbones.base.ScoredEdges` into a
+:class:`~repro.pipeline.backends.base.RawEntry` — a JSON-safe metadata
+dict plus the arrays packed as ``.npz`` bytes — and back, verifying the
+payload digest recorded at encode time so a tampered or truncated entry
+is *detected* rather than served. The metadata layout is byte-for-byte
+the sidecar format the directory store has always written, which is
+what keeps :class:`DirectoryBackend` able to read caches produced
+before backends existed.
+
+It also defines :class:`NegativeEntry`, the cached form of a
+*deterministic scoring failure*: Sinkhorn non-convergence on an
+unbalanceable network is a property of the (table, method) pair, so the
+store records it once and re-raises on every later request instead of
+re-running the 1000-iteration probe. Negative entries are
+metadata-only (``payload is None``).
+"""
+
+from __future__ import annotations
+
+import importlib
+import io
+import json
+import zipfile
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ...backbones.base import ScoredEdges
+from ...graph.edge_table import EdgeTable
+from ..fingerprint import _SCHEMA_VERSION, fingerprint_arrays
+from .base import RawEntry
+
+
+class EntryEncodeError(Exception):
+    """The entry cannot be serialized (non-JSON-serializable metadata).
+
+    The store keeps such entries purely in-memory rather than
+    persisting something unreadable.
+    """
+
+
+class EntryDecodeError(Exception):
+    """Base class for decode failures."""
+
+
+class EntryCorrupt(EntryDecodeError):
+    """The entry's bytes are damaged or inconsistent with its digest."""
+
+
+class SchemaMismatch(EntryDecodeError):
+    """The entry was written under a different schema version.
+
+    Not corruption: the entry is simply treated as a miss (and
+    eventually overwritten or garbage-collected).
+    """
+
+
+@dataclass(frozen=True)
+class NegativeEntry:
+    """A cached "this cannot be scored" verdict.
+
+    Attributes
+    ----------
+    kind:
+        Stable machine tag of the failure class (e.g.
+        ``"sinkhorn-nonconvergence"``), taken from the raising
+        exception's ``cache_negative`` attribute.
+    method:
+        Name of the method that failed, for display.
+    message:
+        The original exception message.
+    exception:
+        Dotted path of the exception class, so a later hit re-raises
+        the same type the caller already handles.
+    """
+
+    kind: str
+    method: str
+    message: str
+    exception: str
+
+    @classmethod
+    def from_exception(cls, error: BaseException,
+                       method: str = "?") -> Optional["NegativeEntry"]:
+        """Build an entry for ``error``, or ``None`` if it is not a
+        deterministic, cacheable failure.
+
+        An exception opts in by carrying a non-empty string
+        ``cache_negative`` class attribute naming its failure kind.
+        """
+        kind = getattr(error, "cache_negative", None)
+        if not isinstance(kind, str) or not kind:
+            return None
+        exc_type = type(error)
+        return cls(kind=kind, method=method, message=str(error),
+                   exception=f"{exc_type.__module__}.{exc_type.__qualname__}")
+
+    def to_exception(self) -> BaseException:
+        """Reconstruct the original exception type (best effort)."""
+        module_name, _, class_name = self.exception.rpartition(".")
+        try:
+            exc_type = getattr(importlib.import_module(module_name),
+                               class_name)
+            if not (isinstance(exc_type, type)
+                    and issubclass(exc_type, BaseException)):
+                raise TypeError(self.exception)
+            return exc_type(self.message)
+        except Exception:
+            return RuntimeError(
+                f"cached negative result ({self.kind}): {self.message}")
+
+
+def encode_scored(key: str, scored: ScoredEdges) -> RawEntry:
+    """Pack ``scored`` into a raw entry with a payload digest.
+
+    Raises :class:`EntryEncodeError` when the method ``info`` metadata
+    is not JSON-serializable.
+    """
+    table = scored.table
+    arrays = {
+        "src": np.ascontiguousarray(table.src, dtype=np.int64),
+        "dst": np.ascontiguousarray(table.dst, dtype=np.int64),
+        "weight": np.ascontiguousarray(table.weight, dtype=np.float64),
+        "score": np.ascontiguousarray(scored.score, dtype=np.float64),
+    }
+    if scored.sdev is not None:
+        arrays["sdev"] = np.ascontiguousarray(scored.sdev,
+                                              dtype=np.float64)
+    meta = {
+        "schema": _SCHEMA_VERSION,
+        "key": key,
+        "method": scored.method,
+        "n_nodes": table.n_nodes,
+        "directed": table.directed,
+        "labels": None if table.labels is None else list(table.labels),
+        "info": scored.info,
+        "payload_sha256": fingerprint_arrays(
+            [arrays["src"], arrays["dst"], arrays["weight"],
+             arrays["score"], arrays.get("sdev")]),
+    }
+    try:
+        json.dumps(meta)
+    except TypeError as error:
+        raise EntryEncodeError(str(error)) from error
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return RawEntry(meta=meta, payload=buffer.getvalue())
+
+
+def encode_negative(key: str, negative: NegativeEntry) -> RawEntry:
+    """Pack a negative result as a metadata-only raw entry."""
+    meta = {
+        "schema": _SCHEMA_VERSION,
+        "key": key,
+        "negative": {
+            "kind": negative.kind,
+            "method": negative.method,
+            "message": negative.message,
+            "exception": negative.exception,
+        },
+    }
+    return RawEntry(meta=meta, payload=None)
+
+
+def decode_entry(raw: RawEntry) -> Union[ScoredEdges, NegativeEntry]:
+    """Unpack a raw entry, verifying the payload digest.
+
+    Raises :class:`SchemaMismatch` for entries from another schema
+    version (a plain miss) and :class:`EntryCorrupt` for anything
+    damaged, truncated or tampered with (quarantined by the caller).
+    """
+    meta = raw.meta
+    if not isinstance(meta, dict) or meta.get("schema") != _SCHEMA_VERSION:
+        raise SchemaMismatch(str(type(meta)))
+    negative = meta.get("negative")
+    if negative is not None:
+        try:
+            return NegativeEntry(kind=str(negative["kind"]),
+                                 method=str(negative["method"]),
+                                 message=str(negative["message"]),
+                                 exception=str(negative["exception"]))
+        except (TypeError, KeyError) as error:
+            raise EntryCorrupt(f"bad negative entry: {error}") from error
+    if raw.payload is None:
+        raise EntryCorrupt("entry has no payload and is not negative")
+    try:
+        with np.load(io.BytesIO(raw.payload)) as payload:
+            src = payload["src"]
+            dst = payload["dst"]
+            weight = payload["weight"]
+            score = payload["score"]
+            sdev = payload["sdev"] if "sdev" in payload.files else None
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as error:
+        raise EntryCorrupt(f"unreadable payload: {error}") from error
+    digest = fingerprint_arrays([src, dst, weight, score, sdev])
+    if digest != meta.get("payload_sha256"):
+        raise EntryCorrupt("payload digest mismatch")
+    try:
+        labels = meta.get("labels")
+        table = EdgeTable(src, dst, weight, n_nodes=int(meta["n_nodes"]),
+                          directed=bool(meta["directed"]),
+                          labels=labels, coalesce=False)
+        return ScoredEdges(table=table, score=score,
+                           method=str(meta["method"]), sdev=sdev,
+                           info=meta.get("info"))
+    except (TypeError, KeyError, ValueError) as error:
+        raise EntryCorrupt(f"bad metadata: {error}") from error

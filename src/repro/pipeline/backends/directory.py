@@ -1,0 +1,226 @@
+"""Content-addressed directory backend (``.npz`` arrays + JSON sidecar).
+
+This is the original ``ScoreStore`` disk tier behind the backend
+interface, unchanged on the wire: every entry is a ``<shard>/<key>.npz``
+arrays file plus a human-readable ``<key>.json`` sidecar, written
+atomically (write-then-rename) so no file ever holds partial contents
+under its final name. Caches written before the backend split load
+unchanged — the only additions are an optional ``last_access`` sidecar
+field (maintained for LRU GC; absent in old entries, where file mtime
+stands in) and metadata-only negative entries, which are a sidecar
+with a ``negative`` block and no ``.npz``.
+
+A crash between the two renames leaves a half-written pair; reads
+detect it, quarantine the remnant and report corruption so the entry
+is recomputed rather than trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .base import BackendCorruption, EntryInfo, RawEntry, StoreBackend
+
+PathLike = Union[str, Path]
+
+
+class DirectoryBackend(StoreBackend):
+    """npz + JSON-sidecar entries under a shard-prefixed directory.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the cache; created on first write.
+    clock:
+        Time source for last-access stamps (injectable for tests).
+    """
+
+    scheme = "dir"
+
+    def __init__(self, root: PathLike, clock=time.time):
+        self.root = Path(root)
+        self._clock = clock
+
+    def spec(self) -> Optional[str]:
+        return str(self.root)
+
+    def describe(self) -> str:
+        return f"directory ({self.root})"
+
+    def _paths(self, key: str) -> Tuple[Path, Path]:
+        shard = self.root / key[:2]
+        return shard / f"{key}.npz", shard / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # StoreBackend interface
+    # ------------------------------------------------------------------
+
+    def get(self, key: str, touch: bool = True) -> Optional[RawEntry]:
+        npz_path, json_path = self._paths(key)
+        meta = self._read_sidecar(key, json_path,
+                                  npz_exists=npz_path.exists())
+        if meta is None:
+            return None
+        if meta.get("negative") is not None:
+            payload = None
+        else:
+            try:
+                payload = npz_path.read_bytes()
+            except OSError as error:
+                self._quarantine(key)
+                raise BackendCorruption(str(error)) from error
+        if touch:
+            self._touch(json_path, meta)
+        return RawEntry(meta=meta, payload=payload)
+
+    def put(self, key: str, entry: RawEntry) -> None:
+        npz_path, json_path = self._paths(key)
+        npz_path.parent.mkdir(parents=True, exist_ok=True)
+        meta = dict(entry.meta)
+        meta["last_access"] = self._clock()
+        meta_text = json.dumps(meta, sort_keys=True, indent=1)
+        # Write-then-rename so no file ever has partial contents under
+        # its final name; a crash *between* the renames leaves an
+        # incomplete pair, which the next read quarantines.
+        if entry.payload is None:
+            if npz_path.exists():
+                npz_path.unlink()
+        else:
+            self._atomic_write(npz_path, entry.payload)
+        self._atomic_write(json_path, meta_text.encode())
+
+    def contains(self, key: str) -> bool:
+        npz_path, json_path = self._paths(key)
+        if not json_path.exists():
+            return False
+        if npz_path.exists():
+            return True
+        return self._negative_sidecar(json_path)
+
+    def delete(self, key: str) -> bool:
+        removed = False
+        for path in self._paths(key):
+            try:
+                path.unlink()
+                removed = True
+            except OSError:
+                pass
+        return removed
+
+    def keys(self) -> List[str]:
+        found = []
+        if not self.root.exists():
+            return found
+        for json_path in sorted(self.root.glob("*/*.json")):
+            key = json_path.stem
+            if json_path.with_suffix(".npz").exists() \
+                    or self._negative_sidecar(json_path):
+                found.append(key)
+        return found
+
+    def entries(self) -> List[EntryInfo]:
+        infos = []
+        for key in self.keys():
+            npz_path, json_path = self._paths(key)
+            size = 0
+            last_access = None
+            negative = False
+            try:
+                stat = json_path.stat()
+                size += stat.st_size
+                mtime = stat.st_mtime
+                if npz_path.exists():
+                    npz_stat = npz_path.stat()
+                    size += npz_stat.st_size
+                    mtime = max(mtime, npz_stat.st_mtime)
+                meta = json.loads(json_path.read_text())
+                last_access = meta.get("last_access")
+                negative = meta.get("negative") is not None
+            except (OSError, json.JSONDecodeError):
+                continue
+            if not isinstance(last_access, (int, float)):
+                # Entry written before last-access stamps existed:
+                # the file mtime is the best available signal.
+                last_access = mtime
+            infos.append(EntryInfo(key=key, size=size,
+                                   last_access=float(last_access),
+                                   negative=negative))
+        return infos
+
+    def peek_meta(self, key: str) -> Optional[Dict[str, object]]:
+        npz_path, json_path = self._paths(key)
+        return self._read_sidecar(key, json_path,
+                                  npz_exists=npz_path.exists(),
+                                  quarantine=False)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _read_sidecar(self, key: str, json_path: Path, npz_exists: bool,
+                      quarantine: bool = True):
+        """Parse the sidecar, quarantining half-written pairs.
+
+        Returns the metadata dict, ``None`` for a clean miss, and
+        raises :class:`BackendCorruption` for remnants.
+        """
+        json_exists = json_path.exists()
+        if not json_exists and not npz_exists:
+            return None
+        if not json_exists:
+            # npz without sidecar: crash between the two renames.
+            if quarantine:
+                self._quarantine(key)
+                raise BackendCorruption(f"half-written entry {key}")
+            return None
+        try:
+            meta = json.loads(json_path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            if quarantine:
+                self._quarantine(key)
+                raise BackendCorruption(str(error)) from error
+            return None
+        if meta.get("negative") is None and not npz_exists:
+            # Sidecar without arrays (and not negative): same remnant.
+            if quarantine:
+                self._quarantine(key)
+                raise BackendCorruption(f"half-written entry {key}")
+            return None
+        return meta
+
+    def _negative_sidecar(self, json_path: Path) -> bool:
+        try:
+            meta = json.loads(json_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return False
+        return isinstance(meta, dict) and meta.get("negative") is not None
+
+    def _touch(self, json_path: Path, meta: Dict[str, object]) -> None:
+        """Record the access in the sidecar (best effort)."""
+        meta["last_access"] = self._clock()
+        try:
+            text = json.dumps(meta, sort_keys=True, indent=1)
+            self._atomic_write(json_path, text.encode())
+        except (OSError, TypeError):
+            pass
+
+    def _atomic_write(self, path: Path, payload: bytes) -> None:
+        descriptor, temp_name = tempfile.mkstemp(dir=path.parent,
+                                                 prefix=path.name + ".")
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(payload)
+            os.replace(temp_name, path)
+        except BaseException:
+            if os.path.exists(temp_name):
+                os.unlink(temp_name)
+            raise
+
+    def _quarantine(self, key: str) -> None:
+        """Drop a damaged entry so the next put can rewrite it."""
+        self.delete(key)

@@ -1,0 +1,190 @@
+"""Remote-style key-value backend: retries, timeouts, transport seam.
+
+``KVBackend`` speaks to a *transport* — anything with a
+``request(op, key=..., value=..., timeout=...)`` method — and wraps
+every call in the client-side semantics a real network cache needs:
+a per-request timeout, bounded retries with exponential backoff on
+transient faults, and a terminal :class:`KVUnavailableError` once the
+budget is exhausted. The shipped :class:`InMemoryKVServer` transport
+is a dict with injectable faults and latency, which makes the retry
+behavior testable offline and marks the exact seam where an object
+store or network cache service plugs in later: implement ``request``
+against the remote API and nothing above the transport changes.
+
+Entries live server-side as metadata + payload + a last-access stamp
+(bumped by the server on reads, Redis ``OBJECT IDLETIME`` style), so
+LRU GC works against the same :func:`~repro.pipeline.backends.base.run_gc`
+policy as the local backends.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from .base import BackendCorruption, EntryInfo, RawEntry, StoreBackend
+
+
+class KVError(Exception):
+    """Base class for transport faults."""
+
+
+class KVTimeoutError(KVError):
+    """The request did not complete within the client timeout."""
+
+
+class KVTransientError(KVError):
+    """A retryable server-side hiccup (connection reset, 5xx, ...)."""
+
+
+class KVUnavailableError(KVError):
+    """Retries exhausted; the service is treated as down."""
+
+
+class InMemoryKVServer:
+    """Dict-backed stand-in for a remote KV service.
+
+    Parameters
+    ----------
+    latency:
+        Simulated per-request service time in seconds; requests whose
+        ``timeout`` is below it fail with :class:`KVTimeoutError`
+        (no real sleeping — tests stay fast).
+    clock:
+        Time source for server-side last-access stamps.
+    """
+
+    def __init__(self, latency: float = 0.0, clock=time.time):
+        self.latency = float(latency)
+        self._clock = clock
+        self.data: Dict[str, Dict[str, object]] = {}
+        self.calls: List[str] = []
+        self._fault_queue: List[Exception] = []
+
+    def inject_faults(self, *errors: Exception) -> None:
+        """Queue transport errors to raise before serving requests."""
+        self._fault_queue.extend(errors)
+
+    def request(self, op: str, key: Optional[str] = None,
+                value: Optional[Dict[str, object]] = None,
+                timeout: Optional[float] = None):
+        self.calls.append(op)
+        if self._fault_queue:
+            raise self._fault_queue.pop(0)
+        if timeout is not None and self.latency > timeout:
+            raise KVTimeoutError(
+                f"request took {self.latency:.3f}s > timeout {timeout:.3f}s")
+        if op == "get":
+            record = self.data.get(key)
+            if record is not None:
+                record["last_access"] = self._clock()
+            return record
+        if op == "peek":
+            # Administrative read: no last-access bump.
+            return self.data.get(key)
+        if op == "put":
+            record = dict(value)
+            record["last_access"] = self._clock()
+            self.data[key] = record
+            return True
+        if op == "delete":
+            return self.data.pop(key, None) is not None
+        if op == "contains":
+            return key in self.data
+        if op == "keys":
+            return sorted(self.data)
+        if op == "index":
+            return [(stored_key, record["size"], record["last_access"],
+                     record.get("payload") is None)
+                    for stored_key, record in self.data.items()]
+        raise ValueError(f"unknown op {op!r}")
+
+
+class KVBackend(StoreBackend):
+    """Store backend over a (possibly remote) key-value transport.
+
+    Parameters
+    ----------
+    transport:
+        Object with a ``request`` method; defaults to a fresh
+        :class:`InMemoryKVServer`.
+    timeout:
+        Per-request timeout handed to the transport.
+    max_attempts:
+        Total tries per request (first call + retries).
+    retry_wait:
+        Base backoff in seconds, doubled per retry; ``0`` (the
+        default) retries immediately, which is what tests want.
+    """
+
+    scheme = "kv"
+
+    def __init__(self, transport=None, timeout: float = 5.0,
+                 max_attempts: int = 3, retry_wait: float = 0.0):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.transport = transport if transport is not None \
+            else InMemoryKVServer()
+        self.timeout = float(timeout)
+        self.max_attempts = int(max_attempts)
+        self.retry_wait = float(retry_wait)
+        self.retries = 0
+
+    def describe(self) -> str:
+        return f"kv ({type(self.transport).__name__})"
+
+    def _call(self, op: str, key: Optional[str] = None,
+              value: Optional[Dict[str, object]] = None):
+        last_error: Optional[Exception] = None
+        for attempt in range(self.max_attempts):
+            try:
+                return self.transport.request(op, key=key, value=value,
+                                              timeout=self.timeout)
+            except (KVTimeoutError, KVTransientError) as error:
+                last_error = error
+                self.retries += 1
+                if attempt + 1 < self.max_attempts and self.retry_wait:
+                    time.sleep(self.retry_wait * (2 ** attempt))
+        raise KVUnavailableError(
+            f"{op} failed after {self.max_attempts} attempts: "
+            f"{last_error}") from last_error
+
+    # ------------------------------------------------------------------
+    # StoreBackend interface
+    # ------------------------------------------------------------------
+
+    def get(self, key: str, touch: bool = True) -> Optional[RawEntry]:
+        record = self._call("get" if touch else "peek", key=key)
+        if record is None:
+            return None
+        meta = record.get("meta") if isinstance(record, dict) else None
+        if not isinstance(meta, dict):
+            self.delete(key)
+            raise BackendCorruption(f"malformed record under {key}")
+        payload = record.get("payload")
+        return RawEntry(meta=meta,
+                        payload=None if payload is None else bytes(payload))
+
+    def put(self, key: str, entry: RawEntry) -> None:
+        payload = entry.payload
+        size = len(repr(entry.meta)) \
+            + (0 if payload is None else len(payload))
+        self._call("put", key=key, value={"meta": entry.meta,
+                                          "payload": payload,
+                                          "size": size})
+
+    def contains(self, key: str) -> bool:
+        return bool(self._call("contains", key=key))
+
+    def delete(self, key: str) -> bool:
+        return bool(self._call("delete", key=key))
+
+    def keys(self) -> List[str]:
+        return list(self._call("keys"))
+
+    def entries(self) -> List[EntryInfo]:
+        return [EntryInfo(key=key, size=int(size),
+                          last_access=float(last_access),
+                          negative=bool(negative))
+                for key, size, last_access, negative
+                in self._call("index")]

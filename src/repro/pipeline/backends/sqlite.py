@@ -1,0 +1,171 @@
+"""Single-file SQLite backend for the score cache.
+
+One WAL-mode database file holds every entry as a row — metadata JSON,
+payload blob, size and access times — which is kinder than a directory
+tree to backup tools, network copies and filesystems with tight inode
+budgets once caches grow to thousands of entries. WAL journaling plus
+a busy timeout lets several worker processes share the file: each
+opens its own connection (connections never cross a ``fork``), writers
+queue briefly instead of failing, and readers keep reading.
+
+The payload digest recorded by the codec travels inside the metadata
+JSON, so end-to-end verification works exactly as it does for the
+directory backend: a tampered row fails digest check on decode and is
+deleted, never served.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from pathlib import Path
+from typing import List, Optional, Union
+
+from .base import BackendCorruption, EntryInfo, RawEntry, StoreBackend
+
+PathLike = Union[str, Path]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS entries (
+    key TEXT PRIMARY KEY,
+    meta TEXT NOT NULL,
+    payload BLOB,
+    size INTEGER NOT NULL,
+    created REAL NOT NULL,
+    last_access REAL NOT NULL
+)
+"""
+
+
+class SQLiteBackend(StoreBackend):
+    """Score-cache entries as rows of one SQLite file.
+
+    Parameters
+    ----------
+    path:
+        Database file; created (with parent directories) on open.
+    timeout:
+        Seconds a writer waits on a locked database before giving up.
+    clock:
+        Time source for access stamps (injectable for tests).
+    """
+
+    scheme = "sqlite"
+
+    def __init__(self, path: PathLike, timeout: float = 30.0,
+                 clock=time.time):
+        self.path = Path(path)
+        self._clock = clock
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.path), timeout=timeout)
+        try:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+        except sqlite3.DatabaseError:
+            # Some filesystems refuse WAL; rollback journal still works.
+            pass
+        try:
+            with self._conn:
+                self._conn.execute(_SCHEMA)
+        except sqlite3.DatabaseError as error:
+            self._conn.close()
+            raise ValueError(
+                f"{self.path} is not a usable SQLite database: "
+                f"{error}") from error
+
+    def spec(self) -> Optional[str]:
+        return f"sqlite://{self.path}"
+
+    def describe(self) -> str:
+        return f"sqlite ({self.path})"
+
+    def close(self) -> None:
+        self._conn.close()
+
+    # ------------------------------------------------------------------
+    # StoreBackend interface
+    # ------------------------------------------------------------------
+
+    def get(self, key: str, touch: bool = True) -> Optional[RawEntry]:
+        try:
+            row = self._conn.execute(
+                "SELECT meta, payload FROM entries WHERE key = ?",
+                (key,)).fetchone()
+        except sqlite3.DatabaseError as error:
+            raise BackendCorruption(str(error)) from error
+        if row is None:
+            return None
+        meta_text, payload = row
+        try:
+            meta = json.loads(meta_text)
+            if not isinstance(meta, dict):
+                raise ValueError("metadata is not an object")
+        except (TypeError, ValueError) as error:
+            self.delete(key)
+            raise BackendCorruption(str(error)) from error
+        if touch:
+            try:
+                with self._conn:
+                    self._conn.execute(
+                        "UPDATE entries SET last_access = ? WHERE key = ?",
+                        (self._clock(), key))
+            except sqlite3.DatabaseError:
+                pass
+        return RawEntry(meta=meta,
+                        payload=None if payload is None else bytes(payload))
+
+    def put(self, key: str, entry: RawEntry) -> None:
+        meta_text = json.dumps(entry.meta, sort_keys=True)
+        payload = entry.payload
+        size = len(meta_text) + (0 if payload is None else len(payload))
+        now = self._clock()
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO entries "
+                "(key, meta, payload, size, created, last_access) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (key, meta_text, payload, size, now, now))
+
+    def contains(self, key: str) -> bool:
+        try:
+            row = self._conn.execute(
+                "SELECT 1 FROM entries WHERE key = ?", (key,)).fetchone()
+        except sqlite3.DatabaseError:
+            return False
+        return row is not None
+
+    def delete(self, key: str) -> bool:
+        try:
+            with self._conn:
+                cursor = self._conn.execute(
+                    "DELETE FROM entries WHERE key = ?", (key,))
+        except sqlite3.DatabaseError:
+            return False
+        return cursor.rowcount > 0
+
+    def keys(self) -> List[str]:
+        rows = self._conn.execute(
+            "SELECT key FROM entries ORDER BY key").fetchall()
+        return [key for (key,) in rows]
+
+    def entries(self) -> List[EntryInfo]:
+        # Negative entries are exactly the payload-free rows.
+        rows = self._conn.execute(
+            "SELECT key, size, last_access, payload IS NULL "
+            "FROM entries").fetchall()
+        return [EntryInfo(key=key, size=int(size),
+                          last_access=float(last_access),
+                          negative=bool(negative))
+                for key, size, last_access, negative in rows]
+
+    def peek_meta(self, key: str):
+        try:
+            row = self._conn.execute(
+                "SELECT meta FROM entries WHERE key = ?", (key,)).fetchone()
+            if row is None:
+                return None
+            meta = json.loads(row[0])
+        except (sqlite3.DatabaseError, TypeError, ValueError):
+            return None
+        return meta if isinstance(meta, dict) else None

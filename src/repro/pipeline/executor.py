@@ -49,7 +49,8 @@ def score_with_store(method: BackboneMethod, table: EdgeTable,
         return method.score(table)
     if key is None:
         key = fingerprint_score_request(table, method)
-    return store.get_or_compute(key, lambda: method.score(table))
+    return store.get_or_compute(key, lambda: method.score(table),
+                                label=method.name)
 
 
 @dataclass
@@ -90,8 +91,8 @@ def execute(graph: SweepGraph, store: Optional[ScoreStore] = None,
         else:
             pending.append((index, shard))
 
-    cache_dir = None if store is None else store.cache_dir
-    payloads = [(shard, graph.table, cache_dir, store is not None,
+    spec = None if store is None else store.worker_spec()
+    payloads = [(shard, graph.table, spec, store is not None,
                  keys[index]) for index, shard in pending]
     results = parallel_map(_run_shard_remote, payloads,
                            workers=min(count, len(pending)))
@@ -115,16 +116,19 @@ def run_sweep(methods: Sequence[BackboneMethod], table: EdgeTable,
               shares: Sequence[float] = DEFAULT_SHARES,
               store: Optional[ScoreStore] = None,
               cache_dir: Optional[PathLike] = None,
-              workers: Optional[int] = None) -> Dict[str, SweepSeries]:
+              workers: Optional[int] = None,
+              backend=None) -> Dict[str, SweepSeries]:
     """Cached/sharded drop-in for
     :func:`repro.evaluation.sweep.sweep_methods`.
 
-    ``cache_dir`` is a convenience for one-shot calls: it opens a
-    fresh :class:`ScoreStore` over that directory when no ``store`` is
-    passed explicitly.
+    ``cache_dir`` (a directory path or backend spec string such as
+    ``sqlite://scores.sqlite``) and ``backend`` (an explicit
+    :class:`~repro.pipeline.backends.StoreBackend`) are conveniences
+    for one-shot calls: they open a fresh :class:`ScoreStore` when no
+    ``store`` is passed explicitly.
     """
-    if store is None and cache_dir is not None:
-        store = ScoreStore(cache_dir)
+    if store is None and (cache_dir is not None or backend is not None):
+        store = ScoreStore(cache_dir, backend=backend)
     graph = plan_sweep(methods, table, metric, shares=shares)
     return execute(graph, store=store, workers=workers).series
 
@@ -158,24 +162,26 @@ def _run_shard(shard: SweepShard, table: EdgeTable,
 
 
 def _run_shard_remote(
-        payload: Tuple[SweepShard, EdgeTable, Optional[PathLike], bool,
+        payload: Tuple[SweepShard, EdgeTable, Optional[str], bool,
                        Optional[str]]
 ) -> Tuple[SweepSeries, Optional[CacheStats], tuple]:
     """Worker-side shard execution (module-level for picklability).
 
-    Each worker opens its own store over the shared ``cache_dir``; the
-    in-memory tiers are per-process but the disk tier is common ground,
-    which is what makes interrupted or repeated sweeps resumable. When
-    the parent's store has no disk tier, workers ship their scored
-    tables back as ``extras`` for the parent to adopt — a memory-only
-    store still caches across a sharded sweep.
+    Each worker reopens its own store over the parent's backend spec
+    (a cache directory or SQLite file); the in-memory tiers are
+    per-process but the persistent tier is common ground, which is
+    what makes interrupted or repeated sweeps resumable. When the
+    parent's store has no shareable persistent tier, workers ship
+    their results (scored tables and negative verdicts alike) back as
+    ``extras`` for the parent to adopt — a memory-only store still
+    caches across a sharded sweep.
     """
-    shard, table, cache_dir, use_store, key = payload
+    shard, table, spec, use_store, key = payload
     if not use_store:
         return _run_shard(shard, table, None), None, ()
-    store = ScoreStore(cache_dir)
+    store = ScoreStore(spec)
     series = _run_shard(shard, table, store, key=key)
-    extras = tuple(store.memory_entries()) if cache_dir is None else ()
+    extras = tuple(store.memory_entries()) if spec is None else ()
     return series, store.stats, extras
 
 
@@ -195,18 +201,23 @@ class Pipeline:
     ----------
     store:
         Explicit store to use. Defaults to a fresh in-memory store
-        (or one over ``cache_dir`` when that is given).
+        (or one over ``cache_dir`` / ``backend`` when given).
     cache_dir:
-        Directory for the disk tier of the default store.
+        Location of the persistent tier of the default store: a
+        directory path or any backend spec string
+        (``sqlite://scores.sqlite``, a ``.sqlite`` path, ``kv://``).
     workers:
         Default process fan-out for :meth:`sweep` and :meth:`warm`.
+    backend:
+        Explicit :class:`~repro.pipeline.backends.StoreBackend` for
+        the default store; mutually exclusive with ``cache_dir``.
     """
 
     def __init__(self, store: Optional[ScoreStore] = None,
                  cache_dir: Optional[PathLike] = None,
-                 workers: Optional[int] = None):
+                 workers: Optional[int] = None, backend=None):
         if store is None:
-            store = ScoreStore(cache_dir)
+            store = ScoreStore(cache_dir, backend=backend)
         self.store = store
         self.workers = workers
 
@@ -268,7 +279,8 @@ class Pipeline:
             if key in self.store:
                 warmed += 1  # already cached; nothing to ship out
                 continue
-            payloads.append((method, table, self.store.cache_dir, key))
+            payloads.append((method, table, self.store.worker_spec(),
+                             key))
         results = parallel_map(_warm_remote, payloads,
                                workers=min(chosen, len(payloads)))
         for result in results:
@@ -282,14 +294,14 @@ class Pipeline:
 
 
 def _warm_remote(
-        payload: Tuple[BackboneMethod, EdgeTable, Optional[PathLike], str]
+        payload: Tuple[BackboneMethod, EdgeTable, Optional[str], str]
 ) -> Optional[Tuple[str, Optional[ScoredEdges]]]:
     """Worker-side scoring for :meth:`Pipeline.warm`."""
-    method, table, cache_dir, key = payload
+    method, table, spec, key = payload
     try:
-        if cache_dir is None:
+        if spec is None:
             return key, method.score(table)
-        store = ScoreStore(cache_dir)
+        store = ScoreStore(spec)
         score_with_store(method, table, store, key=key)
         return key, None
     except SinkhornConvergenceError:

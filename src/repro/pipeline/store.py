@@ -5,41 +5,49 @@ this exact method configuration?" It layers
 
 1. an in-process LRU of live ``ScoredEdges`` objects (hot path: repeated
    budget-matched extractions inside one process skip even the disk),
-2. over an optional content-addressed on-disk directory where every
-   entry is an ``.npz`` arrays file plus a human-readable ``.json``
-   sidecar (warm path: re-runs, other processes and sharded workers).
+2. over an optional pluggable *backend* — the persistent tier. The
+   default is the content-addressed npz + JSON directory
+   (:class:`~repro.pipeline.backends.DirectoryBackend`); a single-file
+   SQLite store and a remote-style KV client ship alongside it, all
+   behind one interface (:mod:`repro.pipeline.backends`).
 
-Disk entries are self-verifying: the sidecar records a digest of the
-stored arrays, and :meth:`ScoreStore.get` recomputes it on load. A
-poisoned, truncated or otherwise corrupt entry therefore *misses*
-(and is recomputed and overwritten) instead of being served.
+Persistent entries are self-verifying: the codec records a digest of
+the stored arrays at ``put`` time and recomputes it on load, so a
+poisoned, truncated or otherwise corrupt entry *misses* (and is
+recomputed and overwritten) instead of being served.
+
+The store also caches **negative results**: a scoring failure that is
+deterministic for the (table, method) pair — Sinkhorn non-convergence
+on an unbalanceable network — is recorded once as a
+:class:`~repro.pipeline.backends.NegativeEntry` and re-raised on every
+later :meth:`ScoreStore.get_or_compute`, instead of re-running the
+1000-iteration probe on every sweep.
 
 All traffic is counted in :class:`CacheStats`, which the executor
-surfaces so sweeps can report hit rates alongside their results.
+surfaces so sweeps can report hit rates alongside their results, and
+:meth:`ScoreStore.gc` applies an LRU eviction policy
+(:class:`~repro.pipeline.backends.GCPolicy`) to the persistent tier.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import tempfile
-import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional, Union
 
-import numpy as np
-
 from ..backbones.base import ScoredEdges
-from ..graph.edge_table import EdgeTable
-from .fingerprint import _SCHEMA_VERSION, fingerprint_arrays
+from .backends import (BackendCorruption, DirectoryBackend, EntryCorrupt,
+                       EntryEncodeError, GCPolicy, GCResult, NegativeEntry,
+                       SchemaMismatch, StoreBackend, decode_entry,
+                       encode_negative, encode_scored, open_backend,
+                       run_gc)
 
 PathLike = Union[str, Path]
 
 #: Default capacity of the in-process LRU tier. Sized to hold a full
 #: paper sweep working set (6 networks x 8 methods) with headroom, so
-#: repeated in-process sweeps never touch the disk tier.
+#: repeated in-process sweeps never touch the persistent tier.
 DEFAULT_MEMORY_ITEMS = 64
 
 
@@ -53,21 +61,24 @@ class CacheStats:
     puts: int = 0
     evictions: int = 0
     corrupt: int = 0
+    negative_hits: int = 0
+    negative_puts: int = 0
 
     @property
     def hits(self) -> int:
-        """Total hits across both tiers."""
+        """Total positive hits across both tiers."""
         return self.memory_hits + self.disk_hits
 
     @property
     def requests(self) -> int:
         """Total lookups."""
-        return self.hits + self.misses
+        return self.hits + self.negative_hits + self.misses
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups answered from either tier."""
-        return self.hits / self.requests if self.requests else 0.0
+        answered = self.hits + self.negative_hits
+        return answered / self.requests if self.requests else 0.0
 
     def merge(self, other: "CacheStats") -> None:
         """Fold another stats object (e.g. a worker's) into this one."""
@@ -77,13 +88,19 @@ class CacheStats:
         self.puts += other.puts
         self.evictions += other.evictions
         self.corrupt += other.corrupt
+        self.negative_hits += other.negative_hits
+        self.negative_puts += other.negative_puts
 
     def summary(self) -> str:
         """One-line human-readable account."""
-        return (f"cache: {self.hits}/{self.requests} hits "
+        text = (f"cache: {self.hits}/{self.requests} hits "
                 f"({self.hit_rate:.0%}; memory {self.memory_hits}, "
                 f"disk {self.disk_hits}), {self.puts} puts, "
                 f"{self.evictions} evictions, {self.corrupt} corrupt")
+        if self.negative_hits or self.negative_puts:
+            text += (f", {self.negative_hits} negative hits "
+                     f"({self.negative_puts} recorded)")
+        return text
 
 
 class ScoreStore:
@@ -92,211 +109,228 @@ class ScoreStore:
     Parameters
     ----------
     cache_dir:
-        Directory for the on-disk tier. ``None`` keeps the store purely
-        in-memory (still useful for repeated extractions in-process).
-        Created on first write.
+        Location of the persistent tier: a directory path, or any spec
+        string :func:`repro.pipeline.backends.open_backend` accepts
+        (``sqlite://scores.sqlite``, a ``.sqlite`` path, ``kv://``).
+        ``None`` keeps the store purely in-memory (still useful for
+        repeated extractions in-process).
     memory_items:
         Capacity of the in-process LRU tier; ``0`` disables it.
+    backend:
+        Explicit :class:`~repro.pipeline.backends.StoreBackend`
+        instance; mutually exclusive with ``cache_dir``.
     """
 
     def __init__(self, cache_dir: Optional[PathLike] = None,
-                 memory_items: int = DEFAULT_MEMORY_ITEMS):
+                 memory_items: int = DEFAULT_MEMORY_ITEMS,
+                 backend: Optional[StoreBackend] = None):
         if memory_items < 0:
             raise ValueError("memory_items must be non-negative")
-        self.cache_dir = None if cache_dir is None else Path(cache_dir)
+        if backend is not None and cache_dir is not None:
+            raise ValueError("pass either cache_dir or backend, not both")
+        if backend is None and cache_dir is not None:
+            backend = open_backend(cache_dir)
+        self.backend = backend
+        self.cache_dir = backend.root \
+            if isinstance(backend, DirectoryBackend) else None
         self.memory_items = int(memory_items)
         self.stats = CacheStats()
-        self._memory: "OrderedDict[str, ScoredEdges]" = OrderedDict()
+        self._memory: "OrderedDict[str, object]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # Lookup / insert
     # ------------------------------------------------------------------
 
     def get(self, key: str) -> Optional[ScoredEdges]:
-        """Return the cached scores under ``key``, or ``None`` on miss."""
-        cached = self._memory.get(key)
-        if cached is not None:
-            self._memory.move_to_end(key)
-            self.stats.memory_hits += 1
-            return cached
-        loaded = self._load_disk(key)
-        if loaded is not None:
-            self.stats.disk_hits += 1
-            self._remember(key, loaded)
-            return loaded
-        self.stats.misses += 1
-        return None
+        """Return the cached scores under ``key``, or ``None`` on miss
+        (including when the cached entry is a negative result)."""
+        found = self._lookup(key)
+        return None if isinstance(found, NegativeEntry) else found
 
     def put(self, key: str, scored: ScoredEdges) -> None:
         """Insert ``scored`` under ``key`` in both tiers."""
         self.stats.puts += 1
         self._remember(key, scored)
-        if self.cache_dir is not None:
-            self._write_disk(key, scored)
+        self._write_backend(key, scored)
+
+    def put_negative(self, key: str, negative: NegativeEntry) -> None:
+        """Record a deterministic scoring failure under ``key``."""
+        self.stats.negative_puts += 1
+        self._remember(key, negative)
+        self._write_backend(key, negative)
 
     def get_or_compute(self, key: str,
-                       compute: Callable[[], ScoredEdges]) -> ScoredEdges:
-        """Serve ``key`` from cache, or run ``compute`` and cache it."""
-        cached = self.get(key)
-        if cached is not None:
-            return cached
-        scored = compute()
+                       compute: Callable[[], ScoredEdges],
+                       label: str = "?") -> ScoredEdges:
+        """Serve ``key`` from cache, or run ``compute`` and cache it.
+
+        A cached negative result re-raises the recorded exception
+        without calling ``compute``; a fresh failure that declares
+        itself cacheable (a ``cache_negative`` attribute on the
+        exception) is recorded before propagating. ``label`` names the
+        computation in recorded negative entries.
+        """
+        found = self._lookup(key)
+        if isinstance(found, NegativeEntry):
+            raise found.to_exception()
+        if found is not None:
+            return found
+        try:
+            scored = compute()
+        except Exception as error:
+            negative = NegativeEntry.from_exception(error, method=label)
+            if negative is not None:
+                self.put_negative(key, negative)
+            raise
         self.put(key, scored)
         return scored
 
-    def adopt(self, key: str, scored: ScoredEdges) -> None:
+    def adopt(self, key: str, entry) -> None:
         """Insert an entry computed elsewhere without counting traffic.
 
-        The executor folds worker-computed scores into the parent store
-        through this: the worker's own store already counted the miss
-        and the put, so adopting must not double-count (and must not
-        rewrite a complete disk entry the worker already produced).
+        The executor folds worker-computed scores (or negative
+        verdicts) into the parent store through this: the worker's own
+        store already counted the miss and the put, so adopting must
+        not double-count (and must not rewrite a complete persistent
+        entry the worker already produced).
         """
-        self._remember(key, scored)
-        if self.cache_dir is not None and not self._has_disk(key):
-            self._write_disk(key, scored)
+        self._remember(key, entry)
+        if self.backend is not None and not self.backend.contains(key):
+            self._write_backend(key, entry)
 
     def memory_entries(self):
-        """Snapshot of the in-process tier as ``(key, scored)`` pairs."""
+        """Snapshot of the in-process tier as ``(key, entry)`` pairs.
+
+        Entries are live ``ScoredEdges`` or ``NegativeEntry`` objects;
+        both kinds are picklable, which is how workers ship results
+        back to a memory-only parent store.
+        """
         return list(self._memory.items())
 
+    def worker_spec(self) -> Optional[str]:
+        """Backend spec a worker process can reopen, or ``None`` when
+        the persistent tier is absent or process-local."""
+        return None if self.backend is None else self.backend.spec()
+
     def __contains__(self, key: str) -> bool:
-        return key in self._memory or self._has_disk(key)
+        if key in self._memory:
+            return True
+        return self.backend is not None and self.backend.contains(key)
 
     def __len__(self) -> int:
-        disk = 0
-        if self.cache_dir is not None and self.cache_dir.exists():
-            disk = sum(1 for npz in self.cache_dir.glob("*/*.npz")
-                       if npz.with_suffix(".json").exists())
+        persistent_keys = () if self.backend is None \
+            else set(self.backend.keys())
         memory_only = sum(1 for key in self._memory
-                          if not self._has_disk(key))
-        return disk + memory_only
-
-    def _has_disk(self, key: str) -> bool:
-        """True when a *complete* entry (arrays + sidecar) is on disk."""
-        if self.cache_dir is None:
-            return False
-        npz_path, json_path = self._paths(key)
-        return npz_path.exists() and json_path.exists()
+                          if key not in persistent_keys)
+        return len(persistent_keys) + memory_only
 
     def clear_memory(self) -> None:
-        """Drop the in-process tier (disk entries survive)."""
+        """Drop the in-process tier (persistent entries survive)."""
         self._memory.clear()
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def gc(self, policy: Optional[GCPolicy] = None, *,
+           max_bytes: Optional[int] = None,
+           max_entries: Optional[int] = None,
+           max_age: Optional[float] = None,
+           dry_run: bool = False) -> GCResult:
+        """Evict persistent entries LRU-first until ``policy`` holds.
+
+        Either pass a :class:`GCPolicy` or the individual bounds.
+        Evicted keys are dropped from the memory tier too, so a
+        collected entry is gone from the store's point of view.
+        """
+        if self.backend is None:
+            raise ValueError("gc needs a persistent backend")
+        if policy is None:
+            policy = GCPolicy(max_bytes=max_bytes, max_entries=max_entries,
+                              max_age=max_age)
+        result = run_gc(self.backend, policy, dry_run=dry_run)
+        if not dry_run:
+            for key in result.deleted_keys:
+                self._memory.pop(key, None)
+            self.stats.evictions += result.deleted
+        return result
 
     # ------------------------------------------------------------------
     # In-memory tier
     # ------------------------------------------------------------------
 
-    def _remember(self, key: str, scored: ScoredEdges) -> None:
+    def _remember(self, key: str, entry) -> None:
         if self.memory_items == 0:
             return
-        self._memory[key] = scored
+        self._memory[key] = entry
         self._memory.move_to_end(key)
         while len(self._memory) > self.memory_items:
             self._memory.popitem(last=False)
             self.stats.evictions += 1
 
+    def _lookup(self, key: str):
+        """Both tiers, counting traffic; returns ``ScoredEdges``,
+        ``NegativeEntry`` or ``None``."""
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._memory.move_to_end(key)
+            if isinstance(cached, NegativeEntry):
+                self.stats.negative_hits += 1
+            else:
+                self.stats.memory_hits += 1
+            return cached
+        loaded = self._load_backend(key)
+        if loaded is not None:
+            if isinstance(loaded, NegativeEntry):
+                self.stats.negative_hits += 1
+            else:
+                self.stats.disk_hits += 1
+            self._remember(key, loaded)
+            return loaded
+        self.stats.misses += 1
+        return None
+
     # ------------------------------------------------------------------
-    # Disk tier
+    # Persistent tier
     # ------------------------------------------------------------------
 
-    def _paths(self, key: str) -> tuple:
-        shard = self.cache_dir / key[:2]
-        return shard / f"{key}.npz", shard / f"{key}.json"
+    def _paths(self, key: str):
+        """Directory-backend file pair for ``key`` (compat accessor)."""
+        if not isinstance(self.backend, DirectoryBackend):
+            raise AttributeError("store has no directory backend")
+        return self.backend._paths(key)
 
-    def _write_disk(self, key: str, scored: ScoredEdges) -> None:
-        table = scored.table
-        arrays = {
-            "src": np.ascontiguousarray(table.src, dtype=np.int64),
-            "dst": np.ascontiguousarray(table.dst, dtype=np.int64),
-            "weight": np.ascontiguousarray(table.weight, dtype=np.float64),
-            "score": np.ascontiguousarray(scored.score, dtype=np.float64),
-        }
-        if scored.sdev is not None:
-            arrays["sdev"] = np.ascontiguousarray(scored.sdev,
-                                                  dtype=np.float64)
-        meta = {
-            "schema": _SCHEMA_VERSION,
-            "key": key,
-            "method": scored.method,
-            "n_nodes": table.n_nodes,
-            "directed": table.directed,
-            "labels": None if table.labels is None else list(table.labels),
-            "info": scored.info,
-            "payload_sha256": fingerprint_arrays(
-                [arrays["src"], arrays["dst"], arrays["weight"],
-                 arrays["score"], arrays.get("sdev")]),
-        }
+    def _write_backend(self, key: str, entry) -> None:
+        if self.backend is None:
+            return
         try:
-            meta_text = json.dumps(meta, sort_keys=True, indent=1)
-        except TypeError:
+            if isinstance(entry, NegativeEntry):
+                raw = encode_negative(key, entry)
+            else:
+                raw = encode_scored(key, entry)
+        except EntryEncodeError:
             # Non-JSON-serializable method info: keep the entry purely
             # in-memory rather than persisting something unreadable.
             return
-        npz_path, json_path = self._paths(key)
-        npz_path.parent.mkdir(parents=True, exist_ok=True)
-        # Write-then-rename so no file ever has partial contents under
-        # its final name; a crash *between* the two renames leaves an
-        # incomplete pair, which _load_disk quarantines on first read.
-        self._atomic_write(npz_path, lambda handle: np.savez(handle,
-                                                             **arrays))
-        self._atomic_write(json_path,
-                           lambda handle: handle.write(meta_text.encode()))
+        self.backend.put(key, raw)
 
-    def _atomic_write(self, path: Path, write: Callable) -> None:
-        descriptor, temp_name = tempfile.mkstemp(dir=path.parent,
-                                                 prefix=path.name + ".")
-        try:
-            with os.fdopen(descriptor, "wb") as handle:
-                write(handle)
-            os.replace(temp_name, path)
-        except BaseException:
-            if os.path.exists(temp_name):
-                os.unlink(temp_name)
-            raise
-
-    def _load_disk(self, key: str) -> Optional[ScoredEdges]:
-        if self.cache_dir is None:
-            return None
-        npz_path, json_path = self._paths(key)
-        npz_exists, json_exists = npz_path.exists(), json_path.exists()
-        if not (npz_exists and json_exists):
-            if npz_exists or json_exists:
-                # Half-written remnant (crash between the two atomic
-                # renames): clear it so the entry can be rewritten.
-                self._quarantine(key)
+    def _load_backend(self, key: str):
+        if self.backend is None:
             return None
         try:
-            meta = json.loads(json_path.read_text())
-            with np.load(npz_path) as payload:
-                src = payload["src"]
-                dst = payload["dst"]
-                weight = payload["weight"]
-                score = payload["score"]
-                sdev = payload["sdev"] if "sdev" in payload.files else None
-        except (OSError, ValueError, KeyError, json.JSONDecodeError,
-                zipfile.BadZipFile):
-            self._quarantine(key)
+            raw = self.backend.get(key)
+        except BackendCorruption:
+            self.stats.corrupt += 1
             return None
-        if meta.get("schema") != _SCHEMA_VERSION:
+        if raw is None:
             return None
-        digest = fingerprint_arrays([src, dst, weight, score, sdev])
-        if digest != meta.get("payload_sha256"):
-            self._quarantine(key)
+        try:
+            return decode_entry(raw)
+        except SchemaMismatch:
             return None
-        labels = meta.get("labels")
-        table = EdgeTable(src, dst, weight, n_nodes=int(meta["n_nodes"]),
-                          directed=bool(meta["directed"]),
-                          labels=labels, coalesce=False)
-        return ScoredEdges(table=table, score=score,
-                           method=str(meta["method"]), sdev=sdev,
-                           info=meta.get("info"))
-
-    def _quarantine(self, key: str) -> None:
-        """Drop a corrupt entry so the next put can rewrite it."""
-        self.stats.corrupt += 1
-        for path in self._paths(key):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except EntryCorrupt:
+            # Quarantine: drop the damaged entry so the next put can
+            # rewrite it; it is never served.
+            self.stats.corrupt += 1
+            self.backend.delete(key)
+            return None

@@ -9,8 +9,9 @@ IV):
 * the **hypergeometric**-motivated prior moments of ``P_ij``.
 
 Only moments, densities and tail areas actually used by the library are
-implemented; ``scipy.special`` provides the incomplete beta and error
-functions.
+implemented; the incomplete beta and error functions come from
+:mod:`repro.stats.special` (scipy when installed, pure-Python
+fallbacks otherwise).
 """
 
 from __future__ import annotations
@@ -18,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy import special
+from . import special
 
 from ..util.validation import check_positive, check_probability
 

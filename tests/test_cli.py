@@ -142,6 +142,74 @@ class TestSweepCommand:
         assert "unknown metric" in capsys.readouterr().err
 
 
+class TestCacheCommand:
+    def warm_cache(self, edges_csv, spec):
+        assert main(["sweep", str(edges_csv), "--methods", "NT,NC",
+                     "--metric", "density", "--shares", "0.5",
+                     "--cache-dir", spec]) == 0
+
+    def test_sweep_accepts_sqlite_cache(self, edges_csv, tmp_path,
+                                        capsys):
+        db = tmp_path / "scores.sqlite"
+        self.warm_cache(edges_csv, str(db))
+        cold = capsys.readouterr().out
+        self.warm_cache(edges_csv, str(db))
+        warm = capsys.readouterr().out
+        assert db.exists()
+        assert "hits" in warm
+        strip = lambda text: [line for line in text.splitlines()  # noqa: E731
+                              if not line.startswith("cache:")]
+        assert strip(cold) == strip(warm)
+
+    def test_stats_reports_entries(self, edges_csv, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        self.warm_cache(edges_csv, str(cache))
+        capsys.readouterr()
+        assert main(["cache", "stats", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "entries:  2" in out
+        assert "bytes:" in out
+
+    def test_gc_max_bytes_enforces_bound(self, edges_csv, tmp_path,
+                                         capsys):
+        cache = tmp_path / "cache"
+        self.warm_cache(edges_csv, str(cache))
+        capsys.readouterr()
+        assert main(["cache", "gc", str(cache), "--max-bytes", "1"]) == 0
+        assert "deleted 2/2" in capsys.readouterr().out
+        assert main(["cache", "stats", str(cache)]) == 0
+        assert "entries:  0" in capsys.readouterr().out
+
+    def test_gc_dry_run_keeps_entries(self, edges_csv, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        self.warm_cache(edges_csv, str(cache))
+        capsys.readouterr()
+        assert main(["cache", "gc", str(cache), "--max-entries", "0",
+                     "--dry-run"]) == 0
+        assert "would delete 2/2" in capsys.readouterr().out
+        assert main(["cache", "stats", str(cache)]) == 0
+        assert "entries:  2" in capsys.readouterr().out
+
+    def test_gc_without_bounds_errors(self, edges_csv, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        self.warm_cache(edges_csv, str(cache))
+        capsys.readouterr()
+        assert main(["cache", "gc", str(cache)]) == 2
+        assert "at least one bound" in capsys.readouterr().err
+
+    def test_migrate_then_warm_sweep_from_dest(self, edges_csv, tmp_path,
+                                               capsys):
+        cache = tmp_path / "cache"
+        self.warm_cache(edges_csv, str(cache))
+        capsys.readouterr()
+        db = tmp_path / "scores.sqlite"
+        assert main(["cache", "migrate", str(cache), str(db)]) == 0
+        assert "migrated 2 entries" in capsys.readouterr().out
+        # The migrated cache serves the same sweep without rescoring.
+        self.warm_cache(edges_csv, str(db))
+        assert "2/2 hits" in capsys.readouterr().out
+
+
 class TestScoreCommand:
     def test_nc_scores_include_sdev(self, edges_csv, tmp_path):
         out = tmp_path / "scored.csv"

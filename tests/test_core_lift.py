@@ -66,8 +66,7 @@ class TestLift:
     def test_lift_of_expected_edge_is_one(self):
         table = complete_directed()
         expectation = expected_weights(table)
-        adjusted = table.with_weights(expectation)
-        # Re-deriving expectations from the adjusted table changes the
+        # Re-deriving expectations from an adjusted table changes the
         # marginals, so instead check the identity directly.
         assert np.allclose(table.weight / expectation, lift(table))
 

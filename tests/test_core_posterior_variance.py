@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core import (edge_weight_variance, plug_in_probability,
-                        posterior_probability, transformed_lift,
-                        transformed_lift_sdev, transformed_lift_variance)
+                        posterior_probability, transformed_lift_sdev,
+                        transformed_lift_variance)
 from repro.graph import EdgeTable
 from repro.stats import Beta
 

@@ -1,6 +1,5 @@
 """Tests for the bundled datasets and the ASCII chart renderer."""
 
-import numpy as np
 import pytest
 
 from repro import datasets

@@ -6,7 +6,6 @@ be slow) and check the narrative output they promise.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

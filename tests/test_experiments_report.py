@@ -1,7 +1,5 @@
 """Tests for the report helpers and paper reference constants."""
 
-import pytest
-
 from repro.experiments import report
 from repro.experiments.runner import FullReport
 from repro.generators.world import NETWORK_NAMES

@@ -5,7 +5,7 @@ import pytest
 
 import networkx as nx
 
-from repro.graph import (EdgeTable, Subgraph, degree_assortativity,
+from repro.graph import (EdgeTable, degree_assortativity,
                          giant_component_subgraph, induced_subgraph,
                          non_isolated_subgraph, reciprocity,
                          weight_assortativity,

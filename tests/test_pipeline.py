@@ -24,7 +24,6 @@ from repro.backbones.registry import paper_methods
 from repro.core.noise_corrected import (NoiseCorrectedBackbone,
                                         NoiseCorrectedPValue)
 from repro.evaluation.sweep import sweep_methods
-from repro.generators.erdos_renyi import erdos_renyi_gnm
 from repro.graph.edge_table import EdgeTable
 from repro.pipeline import (CoverageMetric, DensityMetric, Pipeline,
                             ScoreStore, fingerprint_method,
@@ -451,6 +450,109 @@ class TestPipelineFacade:
             == {"threshold": 0.0}
         ncp = NoiseCorrectedPValue(delta=1.64)
         assert ncp.default_budget() == {"threshold": 1.0 - ncp.p_cut}
+
+
+class TestNegativeCaching:
+    """Sinkhorn non-convergence is probed once per store, not per sweep."""
+
+    def unbalanceable(self) -> EdgeTable:
+        # An undirected star: the doubled adjacency lacks total support
+        # (hub column needs mass 2, row only provides 1), so Sinkhorn
+        # runs its full 1000-iteration probe and gives up.
+        return EdgeTable.from_pairs([(0, 1, 1.0), (0, 2, 1.0)],
+                                    directed=False)
+
+    def counting_sinkhorn(self, monkeypatch):
+        from repro.backbones import doubly_stochastic as ds_module
+
+        calls = []
+        original = ds_module.sinkhorn_knopp
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(ds_module, "sinkhorn_knopp", counting)
+        return calls
+
+    def test_repeat_sweep_skips_sinkhorn_probe(self, tmp_path,
+                                               monkeypatch):
+        from repro.backbones.doubly_stochastic import DoublyStochastic
+
+        calls = self.counting_sinkhorn(monkeypatch)
+        table = self.unbalanceable()
+        store = ScoreStore(tmp_path)
+        first = run_sweep([DoublyStochastic()], table, DensityMetric(),
+                          store=store)
+        assert calls == [1]
+        assert first["DS"].shares == []  # the paper's "n/a" cell
+        second = run_sweep([DoublyStochastic()], table, DensityMetric(),
+                           store=store)
+        assert calls == [1]  # zero Sinkhorn iterations the second time
+        assert second == first
+        assert store.stats.negative_hits == 1
+        assert store.stats.negative_puts == 1
+
+    def test_negative_survives_process_restart(self, tmp_path,
+                                               monkeypatch):
+        from repro.backbones.doubly_stochastic import DoublyStochastic
+
+        table = self.unbalanceable()
+        run_sweep([DoublyStochastic()], table, DensityMetric(),
+                  store=ScoreStore(tmp_path))
+        calls = self.counting_sinkhorn(monkeypatch)
+        fresh = ScoreStore(tmp_path)  # same directory, empty memory tier
+        series = run_sweep([DoublyStochastic()], table, DensityMetric(),
+                           store=fresh)
+        assert calls == []  # served from the persisted negative entry
+        assert series["DS"].shares == []
+        assert fresh.stats.negative_hits == 1
+
+    def test_negative_cached_in_memory_only_store(self, monkeypatch):
+        from repro.backbones.doubly_stochastic import DoublyStochastic
+
+        calls = self.counting_sinkhorn(monkeypatch)
+        store = ScoreStore()
+        for _ in range(3):
+            run_sweep([DoublyStochastic()], self.unbalanceable(),
+                      DensityMetric(), store=store)
+        assert calls == [1]
+        assert store.stats.negative_hits == 2
+
+
+class TestSQLiteThroughPipeline:
+    def test_sqlite_store_matches_serial_and_shards(self, tmp_path):
+        table = random_table(26, n_nodes=30, n_edges=140)
+        methods = paper_methods()
+        metric = CoverageMetric(table)
+        serial = sweep_methods(methods, table, metric)
+        store = ScoreStore(tmp_path / "scores.sqlite")
+        cold = sweep_methods(methods, table, metric, store=store)
+        warm = sweep_methods(methods, table, metric, store=store)
+        sharded = sweep_methods(methods, table, metric, store=store,
+                                workers=2)
+        assert serial == cold == warm == sharded
+        assert store.stats.hits > 0
+
+    def test_workers_share_sqlite_file(self, tmp_path, monkeypatch):
+        # A fresh store over the same file is warm — workers wrote
+        # their scored tables through the sqlite:// worker spec.
+        table = random_table(27)
+        path = tmp_path / "scores.sqlite"
+        run_sweep([NaiveThreshold(), DisparityFilter()], table,
+                  DensityMetric(), store=ScoreStore(path), workers=2)
+        calls = []
+        original = NaiveThreshold.score
+
+        def counting(self, arg):
+            calls.append(1)
+            return original(self, arg)
+
+        monkeypatch.setattr(NaiveThreshold, "score", counting)
+        fresh = ScoreStore(path)
+        run_sweep([NaiveThreshold()], table, DensityMetric(), store=fresh)
+        assert calls == []
+        assert fresh.stats.disk_hits == 1
 
 
 class TestExperimentsThroughPipeline:

@@ -12,7 +12,7 @@ from hypothesis import strategies as st
 
 from repro.backbones import (DisparityFilter, MaximumSpanningTree,
                              NaiveThreshold)
-from repro.community import Partition, louvain, modularity
+from repro.community import louvain, modularity
 from repro.core import (NoiseCorrectedBackbone, NoiseCorrectedPValue,
                         expected_weights, transformed_lift)
 from repro.evaluation import coverage

@@ -1,0 +1,103 @@
+"""The pure-Python special-function fallbacks vs scipy.
+
+:mod:`repro.stats.special` serves scipy's implementations when scipy
+is installed and stdlib-based fallbacks otherwise. These tests pin the
+fallbacks to scipy within tight tolerances (so the no-scipy lane
+computes the same backbones) and check the edge-case conventions the
+call sites rely on. The comparison half skips when scipy is absent;
+the convention half runs everywhere.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats import special
+from repro.stats.special import (_fallback_betainc, _fallback_erf,
+                                 _fallback_erfc, _fallback_erfinv,
+                                 _fallback_gammaln)
+
+
+class TestConventions:
+    def test_betainc_bounds(self):
+        assert _fallback_betainc(2.0, 3.0, 0.0) == 0.0
+        assert _fallback_betainc(2.0, 3.0, 1.0) == 1.0
+        assert math.isnan(_fallback_betainc(0.0, 3.0, 0.5))
+        assert math.isnan(_fallback_betainc(2.0, 3.0, math.nan))
+
+    def test_betainc_symmetry(self):
+        for a, b, x in [(2.0, 5.0, 0.3), (0.5, 0.5, 0.8),
+                        (10.0, 1.0, 0.95)]:
+            assert _fallback_betainc(a, b, x) == pytest.approx(
+                1.0 - _fallback_betainc(b, a, 1.0 - x), abs=1e-14)
+
+    def test_betainc_uniform_case(self):
+        # I_x(1, 1) is the identity.
+        for x in np.linspace(0.0, 1.0, 11):
+            assert _fallback_betainc(1.0, 1.0, x) == pytest.approx(
+                x, abs=1e-14)
+
+    def test_erfinv_inverts_erf(self):
+        for y in (-0.999, -0.5, -1e-8, 0.0, 1e-8, 0.3, 0.9999):
+            assert _fallback_erf(_fallback_erfinv(y)) == pytest.approx(
+                y, abs=1e-13)
+        assert _fallback_erfinv(1.0) == math.inf
+        assert _fallback_erfinv(-1.0) == -math.inf
+        assert math.isnan(_fallback_erfinv(1.5))
+
+    def test_broadcasting_and_scalars(self):
+        grid = np.linspace(-2.0, 2.0, 7)
+        assert _fallback_erf(grid).shape == grid.shape
+        assert isinstance(_fallback_erf(0.5), float)
+        a = np.array([1.0, 2.0, 3.0])
+        out = _fallback_betainc(a, 4.0, 0.25)
+        assert out.shape == a.shape
+
+    def test_module_exports_one_implementation(self):
+        names = ("erf", "erfc", "erfinv", "gammaln", "betainc")
+        for name in names:
+            assert callable(getattr(special, name))
+
+
+@pytest.fixture(scope="module")
+def sp():
+    return pytest.importorskip("scipy.special", exc_type=ImportError)
+
+
+class TestAgainstScipy:
+    def test_erf_family(self, sp):
+        grid = np.linspace(-5.0, 5.0, 101)
+        assert np.allclose(_fallback_erf(grid), sp.erf(grid),
+                           rtol=0, atol=1e-15)
+        assert np.allclose(_fallback_erfc(grid), sp.erfc(grid),
+                           rtol=1e-13, atol=0)
+
+    def test_erfinv(self, sp):
+        grid = np.linspace(-0.9999, 0.9999, 201)
+        assert np.allclose(_fallback_erfinv(grid), sp.erfinv(grid),
+                           rtol=1e-11, atol=1e-12)
+
+    def test_gammaln(self, sp):
+        grid = np.concatenate([np.linspace(0.01, 5.0, 100),
+                               np.array([20.0, 100.0, 1e4])])
+        assert np.allclose(_fallback_gammaln(grid), sp.gammaln(grid),
+                           rtol=1e-13, atol=1e-13)
+
+    def test_betainc_grid(self, sp):
+        rng = np.random.default_rng(0)
+        a = 10.0 ** rng.uniform(-1, 3, 300)
+        b = 10.0 ** rng.uniform(-1, 3, 300)
+        x = rng.uniform(0.0, 1.0, 300)
+        ours = _fallback_betainc(a, b, x)
+        theirs = sp.betainc(a, b, x)
+        assert np.allclose(ours, theirs, rtol=1e-10, atol=1e-12)
+
+    def test_betainc_binomial_tail_shape(self, sp):
+        # The NC scoring call shape: I_p(k, n - k + 1) with integer k.
+        n = 500.0
+        k = np.arange(1.0, n + 1.0)
+        p = 0.013
+        ours = _fallback_betainc(k, n - k + 1.0, p)
+        theirs = sp.betainc(k, n - k + 1.0, p)
+        assert np.allclose(ours, theirs, rtol=1e-10, atol=1e-13)
