@@ -21,7 +21,8 @@ def as_float_array(values: Iterable[float], name: str) -> np.ndarray:
     """Convert ``values`` to a 1-D float64 array, validating finiteness."""
     array = np.asarray(values, dtype=np.float64)
     if array.ndim != 1:
-        raise ValueError(f"{name} must be one-dimensional, got shape {array.shape}")
+        raise ValueError(f"{name} must be one-dimensional, "
+                         f"got shape {array.shape}")
     if array.size and not np.all(np.isfinite(array)):
         raise ValueError(f"{name} contains non-finite values")
     return array
@@ -31,7 +32,8 @@ def as_index_array(values: Iterable[int], name: str) -> np.ndarray:
     """Convert ``values`` to a 1-D int64 array of non-negative indices."""
     array = np.asarray(values)
     if array.ndim != 1:
-        raise ValueError(f"{name} must be one-dimensional, got shape {array.shape}")
+        raise ValueError(f"{name} must be one-dimensional, "
+                         f"got shape {array.shape}")
     if array.size == 0:
         return array.astype(np.int64)
     if not np.issubdtype(array.dtype, np.integer):
@@ -69,7 +71,8 @@ def check_non_negative(value: float, name: str) -> float:
     return value
 
 
-def check_same_length(name_a: str, a: Sequence, name_b: str, b: Sequence) -> None:
+def check_same_length(name_a: str, a: Sequence, name_b: str,
+                      b: Sequence) -> None:
     """Validate that two sequences have equal length."""
     if len(a) != len(b):
         raise ValueError(
