@@ -37,7 +37,8 @@ from .evaluation import (average_stability, coverage,
 from .generators import (SyntheticWorld, add_noise, barabasi_albert,
                          erdos_renyi_gnm, generate_occupation_study,
                          planted_partition)
-from .graph import EdgeTable, Graph, read_edge_csv, write_edge_csv
+from .graph import (EdgeTable, EdgeTableBuilder, Graph, read_edge_csv,
+                    read_edges, write_edge_csv, write_edges)
 from .pipeline import Pipeline, ScoreStore
 
 __version__ = "1.1.0"
@@ -47,6 +48,7 @@ __all__ = [
     "DisparityFilter",
     "DoublyStochastic",
     "EdgeTable",
+    "EdgeTableBuilder",
     "Graph",
     "HighSalienceSkeleton",
     "MaximumSpanningTree",
@@ -82,10 +84,12 @@ __all__ = [
     "predicted_vs_observed_variance",
     "quality_ratio",
     "read_edge_csv",
+    "read_edges",
     "recovery_jaccard",
     "stability_spearman",
     "transformed_lift",
     "transformed_lift_variance",
     "write_edge_csv",
+    "write_edges",
     "__version__",
 ]

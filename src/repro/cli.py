@@ -1,17 +1,24 @@
-"""Command-line interface: backbone extraction on CSV edge lists.
+"""Command-line interface: backbone extraction on edge-list files.
 
 Mirrors the workflow of the paper's released ``backboning`` module:
-read a ``src,dst,weight`` CSV, score it with a chosen method, filter by
-threshold / share / edge budget, and write the backbone back out.
+read an edge list, score it with a chosen method, filter by threshold
+/ share / edge budget, and write the backbone back out.
+
+Every subcommand detects the file format from the suffix: ``.csv``
+(plain text, ``src,dst,weight`` with a header), ``.csv.gz`` (the same,
+gzip-compressed) and ``.npz`` (the binary columnar format, which also
+stores directedness, labels and the exact node count). ``repro
+convert`` translates between them.
 
 Examples
 --------
 ::
 
     python -m repro.cli backbone edges.csv out.csv --method NC --delta 1.64
-    python -m repro.cli backbone edges.csv out.csv --method DF --share 0.1
-    python -m repro.cli score edges.csv scored.csv --method NC
-    python -m repro.cli info edges.csv
+    python -m repro.cli backbone edges.npz out.npz --method DF --share 0.1
+    python -m repro.cli score edges.csv.gz scored.csv --method NC
+    python -m repro.cli info edges.npz
+    python -m repro.cli convert edges.csv edges.npz
     python -m repro.cli sweep edges.csv --metric density --workers -1 \
         --cache-dir .repro-cache
     python -m repro.cli cache stats .repro-cache
@@ -32,21 +39,37 @@ from typing import Optional, Sequence
 
 from .backbones.registry import get_method, method_codes
 from .evaluation.coverage import coverage
-from .graph.io import read_edge_csv, write_edge_csv
+from .graph.ingest import detect_format, read_edges, write_edges
 from .graph.metrics import density
 
 #: Methods whose configuration takes the --delta strictness knob.
 _DELTA_CODES = ("NC", "NCp")
 
+_FORMAT_EPILOG = """\
+file formats (detected from the suffix on every subcommand):
+  .csv      src,dst,weight text with a header row; endpoints may be
+            integer indices or string labels
+  .csv.gz   the same, gzip-compressed (transparent on read and write)
+  .npz      binary columnar format: fastest to load, and the only one
+            that stores directedness, labels and the exact node count
+            (so --directed is ignored for .npz input)
+
+use `repro convert` to translate between formats.
+"""
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Network backboning (Coscia & Neffke, ICDE 2017)")
+        description="Network backboning (Coscia & Neffke, ICDE 2017)",
+        epilog=_FORMAT_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     commands = parser.add_subparsers(dest="command", required=True)
 
     backbone = commands.add_parser(
-        "backbone", help="extract a backbone from a CSV edge list")
+        "backbone", help="extract a backbone from an edge list",
+        epilog=_FORMAT_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     _add_io_arguments(backbone)
     backbone.add_argument("--method", default="NC",
                           choices=method_codes(),
@@ -68,17 +91,33 @@ def build_parser() -> argparse.ArgumentParser:
     score.add_argument("--method", default="NC", choices=method_codes())
     score.add_argument("--delta", type=float, default=1.64)
 
-    info = commands.add_parser("info", help="describe a CSV edge list")
-    info.add_argument("input", help="input edge CSV")
+    info = commands.add_parser("info", help="describe an edge list")
+    info.add_argument("input",
+                      help="input edge file (.csv, .csv.gz or .npz)")
     info.add_argument("--directed", action="store_true",
-                      help="treat edges as directed")
+                      help="treat edges as directed (csv only)")
+
+    convert = commands.add_parser(
+        "convert",
+        help="translate an edge list between csv/csv.gz/npz",
+        epilog=_FORMAT_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    convert.add_argument("input",
+                         help="input edge file (.csv, .csv.gz or .npz)")
+    convert.add_argument("output",
+                         help="output edge file; the suffix picks the "
+                              "format")
+    convert.add_argument("--directed", action="store_true",
+                         help="treat csv input as directed (.npz "
+                              "input carries its own directedness)")
 
     sweep = commands.add_parser(
         "sweep",
         help="sweep methods across edge shares (cached, sharded)")
-    sweep.add_argument("input", help="input edge CSV (src,dst,weight)")
+    sweep.add_argument("input",
+                       help="input edge file (.csv, .csv.gz or .npz)")
     sweep.add_argument("--directed", action="store_true",
-                       help="treat edges as directed")
+                       help="treat edges as directed (csv only)")
     sweep.add_argument("--methods", default="NT,MST,DS,HSS,DF,NC",
                        help="comma-separated method codes "
                             "(default: the paper's six)")
@@ -128,10 +167,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _add_io_arguments(sub: argparse.ArgumentParser) -> None:
-    sub.add_argument("input", help="input edge CSV (src,dst,weight)")
-    sub.add_argument("output", help="output CSV path")
+    sub.add_argument("input",
+                     help="input edge file (.csv, .csv.gz or .npz)")
+    sub.add_argument("output", help="output path (suffix picks format)")
     sub.add_argument("--directed", action="store_true",
-                     help="treat edges as directed")
+                     help="treat edges as directed (csv only)")
 
 
 def _make_method(code: str, delta: float):
@@ -141,7 +181,7 @@ def _make_method(code: str, delta: float):
 
 
 def _run_backbone(args: argparse.Namespace) -> int:
-    table = read_edge_csv(args.input, directed=args.directed)
+    table = read_edges(args.input, directed=args.directed)
     method = _make_method(args.method, args.delta)
     kwargs = {}
     if args.threshold is not None:
@@ -160,7 +200,7 @@ def _run_backbone(args: argparse.Namespace) -> int:
               "--n-edges", file=sys.stderr)
         return 2
     backbone = method.extract(table, **kwargs)
-    write_edge_csv(backbone, args.output)
+    write_edges(backbone, args.output)
     kept_nodes = coverage(table, backbone)
     print(f"kept {backbone.m} of {table.m} edges "
           f"({backbone.m / max(table.m, 1):.1%}); "
@@ -169,7 +209,7 @@ def _run_backbone(args: argparse.Namespace) -> int:
 
 
 def _run_score(args: argparse.Namespace) -> int:
-    table = read_edge_csv(args.input, directed=args.directed)
+    table = read_edges(args.input, directed=args.directed)
     method = _make_method(args.method, args.delta)
     scored = method.score(table)
     with open(args.output, "w", newline="") as handle:
@@ -189,8 +229,9 @@ def _run_score(args: argparse.Namespace) -> int:
 
 
 def _run_info(args: argparse.Namespace) -> int:
-    table = read_edge_csv(args.input, directed=args.directed)
+    table = read_edges(args.input, directed=args.directed)
     weights = table.weight
+    print(f"format:    {detect_format(args.input)}")
     print(f"nodes:     {table.n_nodes}")
     print(f"edges:     {table.m}")
     print(f"directed:  {table.directed}")
@@ -203,11 +244,40 @@ def _run_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_convert(args: argparse.Namespace) -> int:
+    try:
+        table = read_edges(args.input, directed=args.directed)
+        write_edges(table, args.output)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    kind = "directed" if table.directed else "undirected"
+    labeled = "labeled" if table.labels is not None else "unlabeled"
+    print(f"wrote {args.output} ({detect_format(args.output)}): "
+          f"{table.m} edges, {table.n_nodes} nodes, {kind}, {labeled}")
+    return 0
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     from .evaluation.sweep import DEFAULT_SHARES
-    from .pipeline import ScoreStore, named_metric, run_sweep
+    from .pipeline import (ScoreStore, fingerprint_file,
+                           fingerprint_source_request, fingerprint_table,
+                           named_metric, run_sweep)
 
-    table = read_edge_csv(args.input, directed=args.directed)
+    store = None if args.cache_dir is None else ScoreStore(args.cache_dir)
+    # File-level caching: hash the raw bytes (cheap) and ask the store
+    # for the table fingerprint a previous run bound to them, so cache
+    # keys never require hashing a freshly parsed table.
+    source_key = table_fp = None
+    if store is not None:
+        source_key = fingerprint_source_request(
+            fingerprint_file(args.input), directed=args.directed,
+            format=detect_format(args.input))
+        table_fp = store.resolve_source(source_key)
+    table = read_edges(args.input, directed=args.directed)
+    if store is not None and table_fp is None:
+        table_fp = fingerprint_table(table)
+        store.bind_source(source_key, table_fp)
     codes = [code.strip() for code in args.methods.split(",")
              if code.strip()]
     try:
@@ -221,9 +291,9 @@ def _run_sweep(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    store = None if args.cache_dir is None else ScoreStore(args.cache_dir)
     series = run_sweep(methods, table, metric, shares=shares,
-                       store=store, workers=args.workers)
+                       store=store, workers=args.workers,
+                       table_fingerprint=table_fp)
 
     header = "share".rjust(7) + "".join(code.rjust(12) for code in codes)
     print(f"{args.metric} across shares of edges kept")
@@ -275,9 +345,18 @@ def _run_cache(args: argparse.Namespace) -> int:
 
 def _cache_stats(backend) -> int:
     infos = backend.entries()
-    negatives = sum(1 for info in infos if info.negative)
+    negatives = sources = 0
+    for info in infos:
+        if not info.negative:
+            continue
+        meta = backend.peek_meta(info.key) or {}
+        if meta.get("source") is not None:
+            sources += 1
+        else:
+            negatives += 1
     print(f"backend:  {backend.describe()}")
-    print(f"entries:  {len(infos)} ({negatives} negative)")
+    print(f"entries:  {len(infos)} ({negatives} negative, "
+          f"{sources} source bindings)")
     print(f"bytes:    {sum(info.size for info in infos)}")
     if infos:
         import time as _time
@@ -329,8 +408,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {"backbone": _run_backbone, "score": _run_score,
-                "info": _run_info, "sweep": _run_sweep,
-                "cache": _run_cache}
+                "info": _run_info, "convert": _run_convert,
+                "sweep": _run_sweep, "cache": _run_cache}
     return handlers[args.command](args)
 
 

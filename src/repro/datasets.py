@@ -4,8 +4,10 @@ The paper releases some of its country networks "to ensure result
 reproducibility" while the full dataset stays proprietary. Equivalent
 here: seeded synthetic datasets with stable, documented content, plus an
 exporter that writes them as the same ``src,dst,weight`` CSVs the paper
-ships. Loading never touches the filesystem — datasets regenerate from
-fixed seeds — so results are bit-reproducible on any machine.
+ships — and, since the ingestion refactor, as binary ``.npz`` edge
+tables alongside. Loading never touches the filesystem — datasets
+regenerate from fixed seeds — so results are bit-reproducible on any
+machine.
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from .generators.occupations import (OccupationStudy,
                                      generate_occupation_study)
 from .generators.world import SyntheticWorld
 from .graph.edge_table import EdgeTable
+from .graph.ingest import write_edge_npz
 from .graph.io import write_edge_csv
 
 #: The world every bundled country network comes from.
@@ -64,25 +67,34 @@ def dataset_catalog() -> Dict[str, str]:
 
 
 def export_all(directory) -> List[Path]:
-    """Write every bundled dataset as CSV files under ``directory``.
+    """Write every bundled dataset under ``directory``, in both formats.
 
-    Country networks are written one file per year
-    (``<name>_year<k>.csv``); the occupation study as the co-occurrence
-    edge list plus a dense flow matrix CSV. Returns the written paths.
+    Every network ships as a ``src,dst,weight`` CSV (the paper's
+    release shape, human-inspectable) *and* as the binary ``.npz``
+    edge table (exact round-trip of labels, directedness and node
+    count; loads without parsing). Country networks are written one
+    file pair per year (``<name>_year<k>.csv`` / ``.npz``); the
+    occupation study as the co-occurrence edge list pair plus a dense
+    flow matrix CSV. Returns the written paths.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     written: List[Path] = []
+
+    def emit(table: EdgeTable, stem: str) -> None:
+        csv_path = directory / f"{stem}.csv"
+        write_edge_csv(table, csv_path)
+        written.append(csv_path)
+        npz_path = directory / f"{stem}.npz"
+        write_edge_npz(table, npz_path)
+        written.append(npz_path)
+
     world = release_world()
     for name in world.network_names():
         for year in range(_RELEASE_YEARS):
-            path = directory / f"{name}_year{year}.csv"
-            write_edge_csv(world.network(name, year), path)
-            written.append(path)
+            emit(world.network(name, year), f"{name}_year{year}")
     study = load_occupation_study()
-    cooccurrence_path = directory / "occupations_cooccurrence.csv"
-    write_edge_csv(study.cooccurrence, cooccurrence_path)
-    written.append(cooccurrence_path)
+    emit(study.cooccurrence, "occupations_cooccurrence")
     flows_path = directory / "occupations_flows.csv"
     with flows_path.open("w") as handle:
         handle.write("origin,destination,switchers\n")

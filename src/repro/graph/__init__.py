@@ -2,8 +2,10 @@
 
 from .components import (component_sizes, connected_components,
                          giant_component_mask, is_connected)
-from .edge_table import EdgeTable
+from .edge_table import EdgeTable, coalesce_edges
 from .graph import Graph
+from .ingest import (EdgeTableBuilder, detect_format, read_edge_npz,
+                     read_edges, write_edge_npz, write_edges)
 from .io import read_edge_csv, write_edge_csv
 from .metrics import (average_clustering, average_degree,
                       clustering_coefficient, degree_histogram, density,
@@ -22,6 +24,7 @@ from .weighted_metrics import (average_weighted_clustering,
 
 __all__ = [
     "EdgeTable",
+    "EdgeTableBuilder",
     "Graph",
     "ShortestPathEngine",
     "ShortestPathForest",
@@ -40,10 +43,12 @@ __all__ = [
     "average_degree",
     "bfs_order",
     "clustering_coefficient",
+    "coalesce_edges",
     "component_sizes",
     "connected_components",
     "degree_histogram",
     "density",
+    "detect_format",
     "dijkstra",
     "dijkstra_reference",
     "effective_lengths",
@@ -52,6 +57,10 @@ __all__ = [
     "jaccard_edge_similarity",
     "neighbor_weight_profile",
     "read_edge_csv",
+    "read_edge_npz",
+    "read_edges",
     "shortest_path_tree",
     "write_edge_csv",
+    "write_edge_npz",
+    "write_edges",
 ]

@@ -1,17 +1,27 @@
-"""CSV import/export for edge tables.
+"""CSV import/export for edge tables (compatibility shim).
 
 The paper releases its country networks as plain-text edge lists
 (``src  trg  nij`` columns); we use the same shape so our synthetic
 datasets can be inspected and shipped the same way.
+
+Since the ingestion refactor the actual work lives in
+:mod:`repro.graph.ingest` — chunked, vectorized parsing and writing,
+transparent ``.gz`` handling, and the binary ``.npz`` format. The two
+functions here keep their historical signatures and semantics (they
+always speak CSV, whatever the suffix says) and produce bit-identical
+``EdgeTable``s to the pre-refactor row loop; new code should prefer
+:func:`repro.graph.ingest.read_edges` /
+:func:`repro.graph.ingest.write_edges`, which also dispatch on format.
 """
 
 from __future__ import annotations
 
-import csv
-from pathlib import Path
 from typing import Optional, Sequence, Union
 
+from pathlib import Path
+
 from .edge_table import EdgeTable
+from .ingest import read_edges, write_edges
 
 PathLike = Union[str, Path]
 
@@ -23,13 +33,7 @@ def write_edge_csv(table: EdgeTable, path: PathLike,
     When the table carries node labels, labels are written instead of
     integer indices.
     """
-    path = Path(path)
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle, delimiter=delimiter)
-        writer.writerow(["src", "dst", "weight"])
-        for u, v, w in table.iter_edges():
-            writer.writerow([table.label_of(u), table.label_of(v),
-                             repr(w)])
+    write_edges(table, path, delimiter=delimiter, format="csv")
 
 
 def read_edge_csv(path: PathLike, directed: bool = True,
@@ -39,44 +43,8 @@ def read_edge_csv(path: PathLike, directed: bool = True,
 
     Endpoints may be integer indices or string labels; string labels are
     mapped to dense indices in first-seen order unless an explicit
-    ``labels`` ordering is provided.
+    ``labels`` ordering is provided. Malformed rows raise ``ValueError``
+    naming the file and 1-based line number.
     """
-    path = Path(path)
-    rows = []
-    with path.open(newline="") as handle:
-        reader = csv.reader(handle, delimiter=delimiter)
-        header = next(reader, None)
-        if header is None:
-            return EdgeTable((), (), (), directed=directed)
-        for row in reader:
-            if not row:
-                continue
-            rows.append((row[0], row[1], float(row[2])))
-
-    if labels is not None:
-        index = {label: i for i, label in enumerate(labels)}
-    else:
-        index = {}
-        if all(_is_int(u) and _is_int(v) for u, v, _ in rows):
-            index = None
-    if index is None:
-        triples = [(int(u), int(v), w) for u, v, w in rows]
-        return EdgeTable.from_pairs(triples, directed=directed)
-
-    if labels is None:
-        for u, v, _ in rows:
-            for name in (u, v):
-                if name not in index:
-                    index[name] = len(index)
-        labels = sorted(index, key=index.get)
-    triples = [(index[u], index[v], w) for u, v, w in rows]
-    return EdgeTable.from_pairs(triples, n_nodes=len(labels),
-                                directed=directed, labels=labels)
-
-
-def _is_int(text: str) -> bool:
-    try:
-        int(text)
-    except ValueError:
-        return False
-    return True
+    return read_edges(path, directed=directed, delimiter=delimiter,
+                      labels=labels, format="csv")

@@ -33,8 +33,9 @@ from .backends import (DirectoryBackend, GCPolicy, GCResult, KVBackend,
                        open_backend)
 from .executor import (Pipeline, SweepOutcome, execute, run_sweep,
                        score_with_store)
-from .fingerprint import (canonical_json, fingerprint_method,
-                          fingerprint_score_request, fingerprint_table,
+from .fingerprint import (canonical_json, fingerprint_file,
+                          fingerprint_method, fingerprint_score_request,
+                          fingerprint_source_request, fingerprint_table,
                           method_config)
 from .store import CacheStats, ScoreStore
 from .tasks import (AverageDegreeMetric, CoverageMetric, DensityMetric,
@@ -63,8 +64,10 @@ __all__ = [
     "SweepShard",
     "canonical_json",
     "execute",
+    "fingerprint_file",
     "fingerprint_method",
     "fingerprint_score_request",
+    "fingerprint_source_request",
     "fingerprint_table",
     "method_config",
     "named_metric",

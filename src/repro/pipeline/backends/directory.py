@@ -7,8 +7,9 @@ atomically (write-then-rename) so no file ever holds partial contents
 under its final name. Caches written before the backend split load
 unchanged — the only additions are an optional ``last_access`` sidecar
 field (maintained for LRU GC; absent in old entries, where file mtime
-stands in) and metadata-only negative entries, which are a sidecar
-with a ``negative`` block and no ``.npz``.
+stands in) and metadata-only entries — a sidecar with no ``.npz`` —
+which carry either a ``negative`` block (cached scoring failures) or
+a ``source`` block (file-fingerprint bindings).
 
 A crash between the two renames leaves a half-written pair; reads
 detect it, quarantine the remnant and report corruption so the entry
@@ -27,6 +28,12 @@ from typing import Dict, List, Optional, Tuple, Union
 from .base import BackendCorruption, EntryInfo, RawEntry, StoreBackend
 
 PathLike = Union[str, Path]
+
+
+def _meta_only(meta: Dict[str, object]) -> bool:
+    """Entries that legitimately have no ``.npz`` payload."""
+    return meta.get("negative") is not None \
+        or meta.get("source") is not None
 
 
 class DirectoryBackend(StoreBackend):
@@ -66,7 +73,7 @@ class DirectoryBackend(StoreBackend):
                                   npz_exists=npz_path.exists())
         if meta is None:
             return None
-        if meta.get("negative") is not None:
+        if _meta_only(meta):
             payload = None
         else:
             try:
@@ -100,7 +107,7 @@ class DirectoryBackend(StoreBackend):
             return False
         if npz_path.exists():
             return True
-        return self._negative_sidecar(json_path)
+        return self._meta_only_sidecar(json_path)
 
     def delete(self, key: str) -> bool:
         removed = False
@@ -119,7 +126,7 @@ class DirectoryBackend(StoreBackend):
         for json_path in sorted(self.root.glob("*/*.json")):
             key = json_path.stem
             if json_path.with_suffix(".npz").exists() \
-                    or self._negative_sidecar(json_path):
+                    or self._meta_only_sidecar(json_path):
                 found.append(key)
         return found
 
@@ -140,7 +147,9 @@ class DirectoryBackend(StoreBackend):
                     mtime = max(mtime, npz_stat.st_mtime)
                 meta = json.loads(json_path.read_text())
                 last_access = meta.get("last_access")
-                negative = meta.get("negative") is not None
+                # Uniform with the other backends: metadata-only
+                # entries (no payload) carry the flag.
+                negative = _meta_only(meta)
             except (OSError, json.JSONDecodeError):
                 continue
             if not isinstance(last_access, (int, float)):
@@ -185,20 +194,20 @@ class DirectoryBackend(StoreBackend):
                 self._quarantine(key)
                 raise BackendCorruption(str(error)) from error
             return None
-        if meta.get("negative") is None and not npz_exists:
-            # Sidecar without arrays (and not negative): same remnant.
+        if not _meta_only(meta) and not npz_exists:
+            # Sidecar without arrays (and not metadata-only): remnant.
             if quarantine:
                 self._quarantine(key)
                 raise BackendCorruption(f"half-written entry {key}")
             return None
         return meta
 
-    def _negative_sidecar(self, json_path: Path) -> bool:
+    def _meta_only_sidecar(self, json_path: Path) -> bool:
         try:
             meta = json.loads(json_path.read_text())
         except (OSError, json.JSONDecodeError):
             return False
-        return isinstance(meta, dict) and meta.get("negative") is not None
+        return isinstance(meta, dict) and _meta_only(meta)
 
     def _touch(self, json_path: Path, meta: Dict[str, object]) -> None:
         """Record the access in the sidecar (best effort)."""

@@ -62,12 +62,20 @@ class SweepOutcome:
 
 
 def execute(graph: SweepGraph, store: Optional[ScoreStore] = None,
-            workers: Optional[int] = None) -> SweepOutcome:
+            workers: Optional[int] = None,
+            table_fingerprint: Optional[str] = None) -> SweepOutcome:
     """Run every shard of ``graph``; see the module docstring for the
-    serial/cached/sharded equivalence contract."""
+    serial/cached/sharded equivalence contract.
+
+    ``table_fingerprint`` accepts a precomputed (or source-resolved,
+    see :meth:`ScoreStore.resolve_source`) table digest so file-driven
+    sweeps never hash — or even need to parse — the table for key
+    derivation.
+    """
     keys: List[Optional[str]] = [None] * len(graph.shards)
     if store is not None:
-        table_fp = fingerprint_table(graph.table)
+        table_fp = table_fingerprint if table_fingerprint is not None \
+            else fingerprint_table(graph.table)
         keys = [fingerprint_score_request(graph.table, shard.method,
                                           table_fingerprint=table_fp)
                 for shard in graph.shards]
@@ -117,7 +125,9 @@ def run_sweep(methods: Sequence[BackboneMethod], table: EdgeTable,
               store: Optional[ScoreStore] = None,
               cache_dir: Optional[PathLike] = None,
               workers: Optional[int] = None,
-              backend=None) -> Dict[str, SweepSeries]:
+              backend=None,
+              table_fingerprint: Optional[str] = None
+              ) -> Dict[str, SweepSeries]:
     """Cached/sharded drop-in for
     :func:`repro.evaluation.sweep.sweep_methods`.
 
@@ -125,12 +135,14 @@ def run_sweep(methods: Sequence[BackboneMethod], table: EdgeTable,
     ``sqlite://scores.sqlite``) and ``backend`` (an explicit
     :class:`~repro.pipeline.backends.StoreBackend`) are conveniences
     for one-shot calls: they open a fresh :class:`ScoreStore` when no
-    ``store`` is passed explicitly.
+    ``store`` is passed explicitly. ``table_fingerprint`` forwards a
+    precomputed table digest to :func:`execute`.
     """
     if store is None and (cache_dir is not None or backend is not None):
         store = ScoreStore(cache_dir, backend=backend)
     graph = plan_sweep(methods, table, metric, shares=shares)
-    return execute(graph, store=store, workers=workers).series
+    return execute(graph, store=store, workers=workers,
+                   table_fingerprint=table_fingerprint).series
 
 
 def _by_code(graph: SweepGraph,

@@ -39,9 +39,10 @@ from typing import Callable, Optional, Union
 from ..backbones.base import ScoredEdges
 from .backends import (BackendCorruption, DirectoryBackend, EntryCorrupt,
                        EntryEncodeError, GCPolicy, GCResult, NegativeEntry,
-                       SchemaMismatch, StoreBackend, decode_entry,
-                       encode_negative, encode_scored, open_backend,
-                       run_gc)
+                       RawEntry, SchemaMismatch, StoreBackend,
+                       decode_entry, encode_negative, encode_scored,
+                       open_backend, run_gc)
+from .fingerprint import _SCHEMA_VERSION
 
 PathLike = Union[str, Path]
 
@@ -136,6 +137,7 @@ class ScoreStore:
         self.memory_items = int(memory_items)
         self.stats = CacheStats()
         self._memory: "OrderedDict[str, object]" = OrderedDict()
+        self._sources: dict = {}
 
     # ------------------------------------------------------------------
     # Lookup / insert
@@ -197,6 +199,56 @@ class ScoreStore:
         self._remember(key, entry)
         if self.backend is not None and not self.backend.contains(key):
             self._write_backend(key, entry)
+
+    # ------------------------------------------------------------------
+    # Source bindings (file fingerprint -> table fingerprint)
+    # ------------------------------------------------------------------
+
+    def bind_source(self, source_key: str,
+                    table_fingerprint: str) -> None:
+        """Record that the file behind ``source_key`` parses to the
+        table with ``table_fingerprint``.
+
+        ``source_key`` comes from
+        :func:`repro.pipeline.fingerprint.fingerprint_source_request`
+        (a streamed hash of the raw file plus the parse options), so
+        later sweeps over the same file can derive their score-cache
+        keys with :meth:`resolve_source` instead of re-hashing a fully
+        parsed table.
+        """
+        self._sources[source_key] = table_fingerprint
+        if self.backend is None:
+            return
+        meta = {
+            "schema": _SCHEMA_VERSION,
+            "key": source_key,
+            "source": {"table": table_fingerprint},
+        }
+        self.backend.put(source_key, RawEntry(meta=meta, payload=None))
+
+    def resolve_source(self, source_key: str) -> Optional[str]:
+        """Table fingerprint previously bound to ``source_key``, or
+        ``None`` when the binding is unknown (or unreadable)."""
+        found = self._sources.get(source_key)
+        if found is not None:
+            return found
+        if self.backend is None:
+            return None
+        try:
+            raw = self.backend.get(source_key)
+        except BackendCorruption:
+            return None
+        if raw is None or not isinstance(raw.meta, dict) \
+                or raw.meta.get("schema") != _SCHEMA_VERSION:
+            return None
+        source = raw.meta.get("source")
+        if not isinstance(source, dict):
+            return None
+        table_fingerprint = source.get("table")
+        if not isinstance(table_fingerprint, str):
+            return None
+        self._sources[source_key] = table_fingerprint
+        return table_fingerprint
 
     def memory_entries(self):
         """Snapshot of the in-process tier as ``(key, entry)`` pairs.

@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.cli import main
-from repro.graph import EdgeTable, read_edge_csv, write_edge_csv
+from repro.graph import (EdgeTable, read_edge_csv, read_edges,
+                         write_edge_csv)
 
 
 @pytest.fixture()
@@ -162,12 +163,14 @@ class TestCacheCommand:
         assert strip(cold) == strip(warm)
 
     def test_stats_reports_entries(self, edges_csv, tmp_path, capsys):
+        # Two scored tables plus the file-fingerprint source binding.
         cache = tmp_path / "cache"
         self.warm_cache(edges_csv, str(cache))
         capsys.readouterr()
         assert main(["cache", "stats", str(cache)]) == 0
         out = capsys.readouterr().out
-        assert "entries:  2" in out
+        assert "entries:  3" in out
+        assert "1 source binding" in out
         assert "bytes:" in out
 
     def test_gc_max_bytes_enforces_bound(self, edges_csv, tmp_path,
@@ -176,7 +179,7 @@ class TestCacheCommand:
         self.warm_cache(edges_csv, str(cache))
         capsys.readouterr()
         assert main(["cache", "gc", str(cache), "--max-bytes", "1"]) == 0
-        assert "deleted 2/2" in capsys.readouterr().out
+        assert "deleted 3/3" in capsys.readouterr().out
         assert main(["cache", "stats", str(cache)]) == 0
         assert "entries:  0" in capsys.readouterr().out
 
@@ -186,9 +189,9 @@ class TestCacheCommand:
         capsys.readouterr()
         assert main(["cache", "gc", str(cache), "--max-entries", "0",
                      "--dry-run"]) == 0
-        assert "would delete 2/2" in capsys.readouterr().out
+        assert "would delete 3/3" in capsys.readouterr().out
         assert main(["cache", "stats", str(cache)]) == 0
-        assert "entries:  2" in capsys.readouterr().out
+        assert "entries:  3" in capsys.readouterr().out
 
     def test_gc_without_bounds_errors(self, edges_csv, tmp_path, capsys):
         cache = tmp_path / "cache"
@@ -204,10 +207,127 @@ class TestCacheCommand:
         capsys.readouterr()
         db = tmp_path / "scores.sqlite"
         assert main(["cache", "migrate", str(cache), str(db)]) == 0
-        assert "migrated 2 entries" in capsys.readouterr().out
+        assert "migrated 3 entries" in capsys.readouterr().out
         # The migrated cache serves the same sweep without rescoring.
         self.warm_cache(edges_csv, str(db))
         assert "2/2 hits" in capsys.readouterr().out
+
+
+class TestConvertCommand:
+    def test_csv_to_npz_and_back_is_identity(self, edges_csv, tmp_path):
+        npz = tmp_path / "edges.npz"
+        back = tmp_path / "back.csv"
+        assert main(["convert", str(edges_csv), str(npz)]) == 0
+        assert main(["convert", str(npz), str(back)]) == 0
+        assert back.read_text() == edges_csv.read_text()
+
+    def test_npz_preserves_directedness_and_labels(self, tmp_path,
+                                                   capsys):
+        src = tmp_path / "labeled.csv"
+        src.write_text("src,dst,weight\nusa,deu,3.0\ndeu,jpn,1.5\n")
+        npz = tmp_path / "labeled.npz"
+        assert main(["convert", str(src), str(npz), "--directed"]) == 0
+        assert "directed, labeled" in capsys.readouterr().out
+        table = read_edges(npz)
+        assert table.directed
+        assert table.labels == ("usa", "deu", "jpn")
+
+    def test_csv_gz_output(self, edges_csv, tmp_path):
+        gz = tmp_path / "edges.csv.gz"
+        assert main(["convert", str(edges_csv), str(gz)]) == 0
+        assert gz.read_bytes()[:2] == b"\x1f\x8b"
+        assert read_edges(gz, directed=False) \
+            == read_edges(edges_csv, directed=False)
+
+    def test_convert_reports_parse_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("src,dst,weight\n0,1\n")
+        assert main(["convert", str(bad), str(tmp_path / "o.npz")]) == 2
+        assert "line 2" in capsys.readouterr().err
+
+
+class TestFormatAutodetect:
+    def test_backbone_npz_to_npz(self, edges_csv, tmp_path):
+        npz = tmp_path / "edges.npz"
+        main(["convert", str(edges_csv), str(npz)])
+        out = tmp_path / "backbone.npz"
+        assert main(["backbone", str(npz), str(out), "--method", "NT",
+                     "--share", "0.2"]) == 0
+        backbone = read_edges(out)
+        original = read_edges(npz)
+        assert not backbone.directed  # carried through the npz chain
+        assert backbone.m == round(0.2 * original.m)
+
+    def test_info_reports_npz_format(self, edges_csv, tmp_path,
+                                     capsys):
+        npz = tmp_path / "edges.npz"
+        main(["convert", str(edges_csv), str(npz)])
+        capsys.readouterr()
+        assert main(["info", str(npz)]) == 0
+        out = capsys.readouterr().out
+        assert "format:    npz" in out
+        assert "directed:  False" in out
+
+    def test_sweep_reads_npz(self, edges_csv, tmp_path, capsys):
+        npz = tmp_path / "edges.npz"
+        main(["convert", str(edges_csv), str(npz)])
+        capsys.readouterr()
+        assert main(["sweep", str(npz), "--methods", "NT",
+                     "--metric", "edges", "--shares", "0.5"]) == 0
+        assert "NT" in capsys.readouterr().out
+
+
+class TestSweepFileFingerprint:
+    def test_warm_sweep_never_hashes_the_table(self, edges_csv,
+                                               tmp_path, monkeypatch):
+        """The acceptance contract: a repeat sweep over the same file
+        derives its cache keys from the streamed file fingerprint and
+        the stored source binding — fingerprint_table is never called
+        (so key derivation needs no parse)."""
+        import repro.pipeline as pipeline_pkg
+        import repro.pipeline.executor as executor_mod
+
+        cache = tmp_path / "cache"
+        argv = ["sweep", str(edges_csv), "--methods", "NT,NC",
+                "--metric", "density", "--shares", "0.5",
+                "--cache-dir", str(cache)]
+        assert main(argv) == 0
+
+        def forbidden(table):
+            raise AssertionError("fingerprint_table called on a warm "
+                                 "file sweep")
+
+        # Guard both import sites: the CLI's late package import and
+        # the executor's module-level binding.
+        monkeypatch.setattr(pipeline_pkg, "fingerprint_table",
+                            forbidden)
+        monkeypatch.setattr(executor_mod, "fingerprint_table",
+                            forbidden)
+        assert main(argv) == 0
+
+    def test_warm_sweep_hits_for_both_methods(self, edges_csv,
+                                              tmp_path, capsys):
+        cache = tmp_path / "cache"
+        argv = ["sweep", str(edges_csv), "--methods", "NT,NC",
+                "--metric", "density", "--shares", "0.5",
+                "--cache-dir", str(cache)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "2/2 hits" in capsys.readouterr().out
+
+    def test_changed_file_misses(self, edges_csv, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        argv = ["sweep", str(edges_csv), "--methods", "NT",
+                "--metric", "density", "--shares", "0.5",
+                "--cache-dir", str(cache)]
+        assert main(argv) == 0
+        text = edges_csv.read_text().splitlines()
+        text[1] = text[1].rsplit(",", 1)[0] + ",999.0"
+        edges_csv.write_text("\n".join(text) + "\n")
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "0/1 hits" in capsys.readouterr().out
 
 
 class TestScoreCommand:

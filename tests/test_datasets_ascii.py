@@ -3,7 +3,7 @@
 import pytest
 
 from repro import datasets
-from repro.graph import read_edge_csv
+from repro.graph import read_edge_csv, read_edges
 from repro.util.ascii_plot import ascii_chart
 
 
@@ -31,8 +31,8 @@ class TestDatasets:
 
     def test_export_all_round_trip(self, tmp_path):
         written = datasets.export_all(tmp_path)
-        # 6 networks x 3 years + co-occurrence + flows.
-        assert len(written) == 20
+        # (6 networks x 3 years + co-occurrence) x 2 formats + flows.
+        assert len(written) == 39
         for path in written:
             assert path.exists()
             assert path.stat().st_size > 0
@@ -41,6 +41,15 @@ class TestDatasets:
                               labels=datasets.release_world()
                               .covariates.labels)
         assert again == datasets.load_country_network("trade", 0)
+
+    def test_export_all_npz_round_trip(self, tmp_path):
+        datasets.export_all(tmp_path)
+        original = datasets.load_country_network("trade", 0)
+        again = read_edges(tmp_path / "trade_year0.npz")
+        assert again == original
+        assert again.labels == original.labels
+        assert again.directed == original.directed
+        assert again.n_nodes == original.n_nodes
 
     def test_flow_export_totals(self, tmp_path):
         datasets.export_all(tmp_path)
