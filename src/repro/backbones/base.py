@@ -73,10 +73,21 @@ class ScoredEdges:
         """Keep exactly the ``k`` highest-scoring edges (deterministic)."""
         return self.table.top_k_by(self.score, min(int(k), self.m))
 
+    def share_to_k(self, share: float) -> int:
+        """Edge budget equivalent to ``share`` — the single rounding rule.
+
+        Every share-based filter (:meth:`top_share`,
+        :meth:`top_share_many`, :meth:`threshold_for_share`) derives its
+        ``k`` from this method, so a share maps to the same edge count
+        everywhere; at tiny shares ``round`` may yield ``k = 0`` (an
+        empty backbone), which the threshold form mirrors exactly.
+        """
+        require(0.0 <= share <= 1.0, f"share must be in [0, 1], got {share}")
+        return min(int(round(share * self.m)), self.m)
+
     def top_share(self, share: float) -> EdgeTable:
         """Keep the top ``share`` fraction of edges by score."""
-        require(0.0 <= share <= 1.0, f"share must be in [0, 1], got {share}")
-        return self.top_k(int(round(share * self.m)))
+        return self.top_k(self.share_to_k(share))
 
     def top_share_many(self, shares) -> list:
         """Backbones at several shares, ranking the edges only once.
@@ -89,18 +100,27 @@ class ScoredEdges:
                             -self.score))
         backbones = []
         for share in shares:
-            require(0.0 <= share <= 1.0,
-                    f"share must be in [0, 1], got {share}")
-            k = min(int(round(share * self.m)), self.m)
+            k = self.share_to_k(share)
             backbones.append(self.table.subset(np.sort(order[:k])))
         return backbones
 
     def threshold_for_share(self, share: float) -> float:
-        """Score threshold that keeps approximately ``share`` of edges."""
-        require(0.0 < share <= 1.0, f"share must be in (0, 1], got {share}")
-        k = max(1, int(round(share * self.m)))
+        """Score threshold approximating the ``share_to_k`` edge budget.
+
+        Derives ``k`` exactly like :meth:`top_share` (they used to
+        disagree at tiny shares: ``int(round(...))`` vs
+        ``max(1, ...)``) and returns the ``k``-th highest score, so
+        the strict ``score > threshold`` cut keeps at most ``k`` edges
+        (``k - 1`` when scores are distinct — the filter has always
+        been strict). When the share rounds to ``k = 0``, the maximum
+        score is returned and the cut keeps nothing, mirroring the
+        empty ``top_share`` backbone.
+        """
+        require(self.m > 0,
+                "threshold_for_share needs at least one scored edge")
+        k = self.share_to_k(share)
         ordered = np.sort(self.score)[::-1]
-        return float(ordered[min(k, self.m) - 1])
+        return float(ordered[max(k, 1) - 1])
 
 
 class BackboneMethod(ABC):
@@ -158,6 +178,49 @@ class BackboneMethod(ABC):
         if share is not None:
             return scored.top_share(share)
         return scored.top_k(n_edges)
+
+    def describe(self) -> Dict[str, object]:
+        """Declarative identity of this configured method instance.
+
+        Returns the method's short code, human name, class path,
+        parameter-freeness and *full* public configuration (including
+        extraction-only knobs such as NC's ``delta``, which the score
+        cache excludes but a request's identity must include). This is
+        the hook :mod:`repro.flow` compiles plans and plan fingerprints
+        from.
+        """
+        cls = type(self)
+        state = getattr(self, "__dict__", None) or {}
+        return {
+            "code": self.code,
+            "name": self.name,
+            "class": f"{cls.__module__}.{cls.__qualname__}",
+            "parameter_free": self.parameter_free,
+            "config": {key: value for key, value in state.items()
+                       if not key.startswith("_")},
+        }
+
+    def filter_spec(self, threshold: Optional[float] = None,
+                    share: Optional[float] = None,
+                    n_edges: Optional[int] = None) -> Dict[str, object]:
+        """Declarative description of the filter phase of :meth:`extract`.
+
+        Resolves the budget exactly like :meth:`extract` (defaults
+        applied, mutual exclusion enforced) but returns a small
+        JSON-able mapping instead of touching any data — the form
+        :mod:`repro.flow` plans carry and ``repro backbone --explain``
+        prints. ``{"kind": "natural"}`` marks parameter-free methods
+        whose extraction ignores budgets entirely.
+        """
+        threshold, share, n_edges = self._resolve_budget(threshold, share,
+                                                         n_edges)
+        if self.parameter_free:
+            return {"kind": "natural"}
+        if threshold is not None:
+            return {"kind": "threshold", "threshold": float(threshold)}
+        if share is not None:
+            return {"kind": "share", "share": float(share)}
+        return {"kind": "n_edges", "n_edges": int(n_edges)}
 
     def default_budget(self) -> Optional[Dict[str, float]]:
         """Budget used when :meth:`extract` is called with none.

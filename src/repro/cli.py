@@ -1,8 +1,12 @@
-"""Command-line interface: backbone extraction on edge-list files.
+"""Command-line interface: thin builders over :mod:`repro.flow` plans.
 
-Mirrors the workflow of the paper's released ``backboning`` module:
-read an edge list, score it with a chosen method, filter by threshold
-/ share / edge budget, and write the backbone back out.
+Every extraction-shaped subcommand (``backbone``, ``score``,
+``sweep``) compiles its arguments into a declarative flow plan and
+runs it — the CLI adds no execution logic of its own, so its output
+is bit-identical to the library API by construction. ``repro backbone
+--explain`` prints the compiled plan (source fingerprint, method
+config, cache key) without executing, and ``repro flow run plan.json``
+executes a plan saved as a JSON artifact (``Plan.to_json``).
 
 Every subcommand detects the file format from the suffix: ``.csv``
 (plain text, ``src,dst,weight`` with a header), ``.csv.gz`` (the same,
@@ -16,11 +20,13 @@ Examples
 
     python -m repro.cli backbone edges.csv out.csv --method NC --delta 1.64
     python -m repro.cli backbone edges.npz out.npz --method DF --share 0.1
+    python -m repro.cli backbone edges.csv out.csv --explain
     python -m repro.cli score edges.csv.gz scored.csv --method NC
     python -m repro.cli info edges.npz
     python -m repro.cli convert edges.csv edges.npz
     python -m repro.cli sweep edges.csv --metric density --workers -1 \
         --cache-dir .repro-cache
+    python -m repro.cli flow run plan.json --output backbone.csv
     python -m repro.cli cache stats .repro-cache
     python -m repro.cli cache gc .repro-cache --max-bytes 100000000
     python -m repro.cli cache migrate .repro-cache scores.sqlite
@@ -84,6 +90,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="keep this share of edges (0..1)")
     group.add_argument("--n-edges", type=int,
                        help="keep exactly this many edges")
+    backbone.add_argument("--cache-dir",
+                          help="scored-table cache location (directory, "
+                               ".sqlite file or spec); repeated "
+                               "extractions skip rescoring")
+    backbone.add_argument("--explain", action="store_true",
+                          help="print the compiled plan (source "
+                               "fingerprint, method config, cache key) "
+                               "without executing; with a warm "
+                               "--cache-dir the file is not even parsed")
 
     score = commands.add_parser(
         "score", help="write per-edge scores without filtering")
@@ -139,6 +154,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write method,share,value rows to this "
                             "CSV")
 
+    flow_cmd = commands.add_parser(
+        "flow", help="run declarative plan artifacts (plan.json)")
+    flow_commands = flow_cmd.add_subparsers(dest="flow_command",
+                                            required=True)
+    flow_run = flow_commands.add_parser(
+        "run", help="execute a plan saved with Plan.to_json()")
+    flow_run.add_argument("plan", help="path to the plan.json artifact")
+    flow_run.add_argument("--output",
+                          help="write the extracted backbone here "
+                               "(suffix picks the format)")
+    flow_run.add_argument("--cache-dir",
+                          help="scored-table cache location (directory, "
+                               ".sqlite file or spec)")
+    flow_run.add_argument("--workers", type=int,
+                          help="process fan-out; -1 = one per CPU")
+    flow_run.add_argument("--explain", action="store_true",
+                          help="print the compiled plan and exit "
+                               "without executing")
+
     cache = commands.add_parser(
         "cache", help="inspect and manage scored-table caches")
     cache_commands = cache.add_subparsers(dest="cache_command",
@@ -180,16 +214,26 @@ def _make_method(code: str, delta: float):
     return get_method(code)
 
 
-def _run_backbone(args: argparse.Namespace) -> int:
-    table = read_edges(args.input, directed=args.directed)
-    method = _make_method(args.method, args.delta)
+def _build_plan(args: argparse.Namespace):
+    """Lower backbone/score arguments onto a declarative flow plan."""
+    from .flow import flow
+
+    params = {"delta": args.delta} if args.method in _DELTA_CODES else {}
+    plan = flow(args.input, directed=args.directed).method(args.method,
+                                                           **params)
     kwargs = {}
-    if args.threshold is not None:
-        kwargs["threshold"] = args.threshold
-    if args.share is not None:
-        kwargs["share"] = args.share
-    if args.n_edges is not None:
-        kwargs["n_edges"] = args.n_edges
+    for name in ("threshold", "share", "n_edges"):
+        value = getattr(args, name, None)
+        if value is not None:
+            kwargs[name] = value
+    if kwargs:
+        plan = plan.budget(**kwargs)
+    return plan, kwargs
+
+
+def _run_backbone(args: argparse.Namespace) -> int:
+    plan, kwargs = _build_plan(args)
+    method = plan.method_spec.build()
     if method.parameter_free and kwargs:
         print(f"error: {method.name} is parameter-free; drop the budget "
               "flags", file=sys.stderr)
@@ -199,7 +243,15 @@ def _run_backbone(args: argparse.Namespace) -> int:
         print("error: this method needs --threshold, --share or "
               "--n-edges", file=sys.stderr)
         return 2
-    backbone = method.extract(table, **kwargs)
+    store = None
+    if getattr(args, "cache_dir", None) is not None:
+        from .pipeline import ScoreStore
+        store = ScoreStore(args.cache_dir)
+    if args.explain:
+        print(plan.explain(store=store))
+        return 0
+    result = plan.run(store=store)
+    backbone, table = result.backbone, result.table
     write_edges(backbone, args.output)
     kept_nodes = coverage(table, backbone)
     print(f"kept {backbone.m} of {table.m} edges "
@@ -209,9 +261,9 @@ def _run_backbone(args: argparse.Namespace) -> int:
 
 
 def _run_score(args: argparse.Namespace) -> int:
-    table = read_edges(args.input, directed=args.directed)
-    method = _make_method(args.method, args.delta)
-    scored = method.score(table)
+    plan, _ = _build_plan(args)
+    method = plan.method_spec.build()
+    scored = plan.scores()
     with open(args.output, "w", newline="") as handle:
         writer = csv.writer(handle)
         header = ["src", "dst", "weight", "score"]
@@ -260,29 +312,21 @@ def _run_convert(args: argparse.Namespace) -> int:
 
 def _run_sweep(args: argparse.Namespace) -> int:
     from .evaluation.sweep import DEFAULT_SHARES
-    from .pipeline import (ScoreStore, fingerprint_file,
-                           fingerprint_source_request, fingerprint_table,
-                           named_metric, run_sweep)
+    from .flow import MetricSpec, flow
+    from .flow.sweep import run_sweep_plans
+    from .pipeline import ScoreStore
 
+    # The whole sweep compiles to a flow plan batch: one plan per
+    # method and share over one file source. Source bindings (file
+    # fingerprint -> table fingerprint, so warm runs never hash a
+    # parsed table) and scoring deduplication live in the flow
+    # compiler, not here.
     store = None if args.cache_dir is None else ScoreStore(args.cache_dir)
-    # File-level caching: hash the raw bytes (cheap) and ask the store
-    # for the table fingerprint a previous run bound to them, so cache
-    # keys never require hashing a freshly parsed table.
-    source_key = table_fp = None
-    if store is not None:
-        source_key = fingerprint_source_request(
-            fingerprint_file(args.input), directed=args.directed,
-            format=detect_format(args.input))
-        table_fp = store.resolve_source(source_key)
-    table = read_edges(args.input, directed=args.directed)
-    if store is not None and table_fp is None:
-        table_fp = fingerprint_table(table)
-        store.bind_source(source_key, table_fp)
     codes = [code.strip() for code in args.methods.split(",")
              if code.strip()]
     try:
         methods = [_make_method(code, args.delta) for code in codes]
-        metric = named_metric(args.metric, table)
+        metric = MetricSpec(args.metric)
         shares = DEFAULT_SHARES if args.shares is None else tuple(
             float(part) for part in args.shares.split(","))
         for share in shares:
@@ -291,9 +335,10 @@ def _run_sweep(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    series = run_sweep(methods, table, metric, shares=shares,
-                       store=store, workers=args.workers,
-                       table_fingerprint=table_fp)
+    series = run_sweep_plans(methods, flow(args.input,
+                                           directed=args.directed),
+                             metric, shares=shares, store=store,
+                             workers=args.workers)
 
     header = "share".rjust(7) + "".join(code.rjust(12) for code in codes)
     print(f"{args.metric} across shares of edges kept")
@@ -325,6 +370,40 @@ def _run_sweep(args: argparse.Namespace) -> int:
                 result = series[code]
                 for share, value in zip(result.shares, result.values):
                     writer.writerow([code, repr(share), repr(value)])
+    return 0
+
+
+def _run_flow(args: argparse.Namespace) -> int:
+    from .flow import Plan
+    from .pipeline import ScoreStore
+
+    try:
+        with open(args.plan) as handle:
+            plan = Plan.from_json(handle.read())
+    except OSError as error:
+        print(f"error: cannot read plan: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    store = None if args.cache_dir is None else ScoreStore(args.cache_dir)
+    if args.explain:
+        print(plan.explain(store=store))
+        return 0
+    try:
+        result = plan.run(store=store, workers=args.workers)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    backbone, table = result.backbone, result.table
+    if args.output:
+        write_edges(backbone, args.output)
+    print(f"plan {plan.fingerprint()[:16]}: kept {backbone.m} of "
+          f"{table.m} edges ({result.kept_share:.1%} of non-loop edges)")
+    for name, value in result.metrics.items():
+        print(f"  {name}: {value:.6g}")
+    if store is not None:
+        print(store.stats.summary())
     return 0
 
 
@@ -409,7 +488,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"backbone": _run_backbone, "score": _run_score,
                 "info": _run_info, "convert": _run_convert,
-                "sweep": _run_sweep, "cache": _run_cache}
+                "sweep": _run_sweep, "flow": _run_flow,
+                "cache": _run_cache}
     return handlers[args.command](args)
 
 

@@ -60,16 +60,18 @@ def sweep_methods(methods: Sequence[BackboneMethod], table: EdgeTable,
     """Sweep every method; inapplicable ones map to an empty series.
 
     ``store`` (a :class:`repro.pipeline.ScoreStore`) serves scored
-    tables from cache, and ``workers`` fans methods out across
-    processes; both paths return results bit-identical to the plain
-    serial loop below (the contract asserted by
+    tables from cache, and ``workers`` fans scoring out across
+    processes. Either knob compiles the sweep into a
+    :mod:`repro.flow` plan batch (one plan per method and share,
+    served over the shared store); the result is bit-identical to the
+    plain serial loop below (the contract asserted by
     ``benchmarks/bench_pipeline_cache.py``).
     """
     if store is not None or workers is not None:
-        # Imported lazily: the pipeline subsystem builds on this module.
-        from ..pipeline.executor import run_sweep
-        return run_sweep(methods, table, metric, shares=shares,
-                         store=store, workers=workers)
+        # Imported lazily: the flow subsystem builds on this module.
+        from ..flow.sweep import run_sweep_plans
+        return run_sweep_plans(methods, table, metric, shares=shares,
+                               store=store, workers=workers)
     out: Dict[str, SweepSeries] = {}
     for method in methods:
         try:

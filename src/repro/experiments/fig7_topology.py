@@ -45,8 +45,9 @@ def run(world: Optional[SyntheticWorld] = None,
         store=None, workers: Optional[int] = None) -> Fig7Result:
     """Regenerate the Fig. 7 sweeps.
 
-    ``store``/``workers`` are handed to the pipeline executor: scored
-    tables come from (and land in) the cache, and methods fan out
+    ``store``/``workers`` compile each network's sweep into a
+    :mod:`repro.flow` plan batch (via ``sweep_methods``): scored
+    tables come from (and land in) the cache, and scoring fans out
     across processes, without changing any series value.
     """
     if world is None:

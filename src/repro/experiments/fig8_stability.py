@@ -44,8 +44,9 @@ def run(world: Optional[SyntheticWorld] = None,
         store=None, workers: Optional[int] = None) -> Fig8Result:
     """Regenerate the Fig. 8 sweeps.
 
-    ``store``/``workers`` route the sweeps through the pipeline
-    executor (cached scored tables, process fan-out, identical values).
+    ``store``/``workers`` compile the sweeps into :mod:`repro.flow`
+    plan batches (cached scored tables, process fan-out, identical
+    values).
     """
     if world is None:
         world = SyntheticWorld(seed=0)

@@ -88,49 +88,56 @@ def run(world: Optional[SyntheticWorld] = None,
 
     ``budget_share`` overrides the HSS-derived edge budget with an
     explicit share of edges (useful for fast test runs that skip HSS).
-    ``store``/``workers`` route all scoring through a pipeline: each
-    network's methods are pre-scored (optionally in parallel) into the
-    cache, and every budget-matched extraction — including the HSS run
-    that *sets* the budget — reuses those scores. A store shared with
-    Fig. 7/8 skips rescoring here entirely (same tables, same methods).
+    ``store``/``workers`` compile each network's extractions into a
+    :mod:`repro.flow` plan batch served over one shared store: every
+    method is scored at most once (optionally across worker
+    processes), and every budget-matched extraction — including the
+    HSS run that *sets* the budget — reuses those scores. A store
+    shared with Fig. 7/8 skips rescoring here entirely (same tables,
+    same methods).
     """
     if world is None:
         world = SyntheticWorld(seed=0)
     if methods is None:
         methods = paper_methods()
     by_code = {method.code: method for method in methods}
-    pipe = None
-    if store is not None or workers is not None:
-        from ..pipeline.executor import Pipeline
-        pipe = Pipeline(store=store, workers=workers)
+    use_flow = store is not None or workers is not None
+    if use_flow:
+        from ..flow import flow as make_flow
+        from ..flow import serve
+        from ..pipeline.store import ScoreStore
+        if store is None:
+            store = ScoreStore()  # batch-local deduplication
 
     ratios: Dict[str, Dict[str, Optional[float]]] = {}
     details: Dict[str, Dict[str, Optional[QualityResult]]] = {}
     budgets: Dict[str, int] = {}
     for name in networks:
         table = world.network(name, 0)
-        if pipe is not None:
-            pipe.warm(methods, table)
+        base = make_flow(table) if use_flow else None
 
         def extract(method, **budget_kwargs):
-            if pipe is None:
+            if not use_flow:
                 return method.extract(table, **budget_kwargs)
-            return pipe.extract(method, table, **budget_kwargs)
+            plan = base.method(method)
+            if budget_kwargs:
+                plan = plan.budget(**budget_kwargs)
+            return plan.run(store=store, workers=workers).backbone
 
         y, X, _, src, dst = network_design(world, name)
         budget = _edge_budget(by_code, table, budget_share, extract)
         budgets[name] = budget
+        backbones = _extract_all(by_code, budget, budget_share, extract,
+                                 base, store, workers,
+                                 None if not use_flow else serve)
         ratios[name] = {}
         details[name] = {}
-        for code, method in by_code.items():
+        for code in by_code:
+            outcome = backbones[code]
             try:
-                if method.parameter_free:
-                    backbone = extract(method)
-                elif code == "HSS" and budget_share is None:
-                    backbone = extract(method)  # its own threshold
-                else:
-                    backbone = extract(method, n_edges=budget)
-                mask = backbone_pair_mask(backbone, src, dst)
+                if isinstance(outcome, Exception):
+                    raise outcome
+                mask = backbone_pair_mask(outcome, src, dst)
                 result = quality_ratio(y, X, mask)
                 ratios[name][code] = result.ratio
                 details[name][code] = result
@@ -138,6 +145,46 @@ def run(world: Optional[SyntheticWorld] = None,
                 ratios[name][code] = None
                 details[name][code] = None
     return Table2Result(ratios=ratios, details=details, budgets=budgets)
+
+
+def _extract_all(by_code, budget, budget_share, extract, base, store,
+                 workers, serve):
+    """Every method's backbone (or the exception extraction raised).
+
+    Without a pipeline this is the legacy per-method loop. With one,
+    the extractions compile into a single flow plan batch: scoring is
+    deduplicated against the store (warm from the budget stage) and
+    cold methods fan out across workers.
+    """
+
+    def plan_kwargs(code, method):
+        if method.parameter_free:
+            return {}
+        if code == "HSS" and budget_share is None:
+            return {}  # its own threshold sets the budget
+        return {"n_edges": budget}
+
+    backbones: Dict[str, object] = {}
+    if serve is None:
+        for code, method in by_code.items():
+            try:
+                backbones[code] = extract(method, **plan_kwargs(code,
+                                                               method))
+            except (SinkhornConvergenceError, ValueError) as error:
+                backbones[code] = error
+        return backbones
+    plans = []
+    for code, method in by_code.items():
+        plan = base.method(method)
+        kwargs = plan_kwargs(code, method)
+        if kwargs:
+            plan = plan.budget(**kwargs)
+        plans.append(plan)
+    results = serve(plans, store=store, workers=workers)
+    for code, result in zip(by_code, results):
+        backbones[code] = result.error if result.error is not None \
+            else result.backbone
+    return backbones
 
 
 def _edge_budget(by_code: Dict[str, BackboneMethod], table,

@@ -1,0 +1,121 @@
+"""Lowering plans onto the pipeline: tables, fingerprints, cache keys.
+
+Compilation is the step between the declarative :class:`Plan` and the
+existing execution machinery (:func:`repro.pipeline.executor.
+score_with_store`, backend spec strings, ``workers=``). For a batch of
+plans it
+
+1. resolves every *distinct* source exactly once — a file is hashed
+   once and parsed at most once per batch, however many plans point at
+   it, and a store's source binding (``bind_source`` /
+   ``resolve_source``, persisted since PR 4) supplies the table
+   fingerprint on warm runs so key derivation never re-hashes a parsed
+   table;
+2. builds the configured method instance and derives the score-cache
+   key (:func:`~repro.pipeline.fingerprint.fingerprint_score_request`)
+   — the key deliberately excludes extraction-only knobs, which is
+   what lets N plans at different deltas or shares share one scoring
+   pass;
+3. resolves metric specs against the source table (so ``"coverage"``
+   measures retention against the input).
+
+The result, one :class:`CompiledPlan` per plan, is everything
+:func:`repro.flow.serve` needs to schedule scoring and apply filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..backbones.base import BackboneMethod
+from ..graph.edge_table import EdgeTable
+from ..pipeline.fingerprint import (fingerprint_score_request,
+                                    fingerprint_table)
+from ..pipeline.store import ScoreStore
+from ..util.validation import require
+from .plan import Plan
+from .spec import FilterSpec, TableSource
+
+
+@dataclass
+class CompiledPlan:
+    """A plan lowered onto concrete data and cache keys."""
+
+    plan: Plan
+    table: Optional[EdgeTable]  # None only in key-derivation mode
+    table_fp: str
+    source_fp: str
+    method: BackboneMethod
+    key: str  # score-cache key (table x score-relevant method config)
+    budget: Optional[FilterSpec]
+    metrics: Tuple
+
+
+def compile_plans(plans: Sequence[Plan], store: Optional[ScoreStore],
+                  need_tables: bool = True) -> List[CompiledPlan]:
+    """Compile a batch, resolving each distinct source exactly once.
+
+    ``store`` may be ``None`` (no source bindings are read or written);
+    callers that want batch deduplication pass at least a memory-only
+    :class:`ScoreStore`. ``need_tables=False`` is the key-derivation
+    mode behind ``--explain``: when the store's source binding already
+    supplies a file's table fingerprint, the file is not parsed at all
+    (``table`` is ``None`` and metric specs stay unresolved).
+    """
+    # source spec -> (source_fp, table, table_fp); file sources are
+    # hashable frozen specs, table sources memoize by table identity.
+    by_spec: Dict[object, Tuple[str, Optional[EdgeTable], str]] = {}
+    compiled = []
+    for plan in plans:
+        require(isinstance(plan, Plan),
+                f"serve expects Plan objects, got {type(plan).__name__}")
+        require(plan.method_spec is not None,
+                "plan has no method; call .method(code) before running")
+        memo_key = (id(plan.source.table)
+                    if isinstance(plan.source, TableSource)
+                    else plan.source)
+        found = by_spec.get(memo_key)
+        if found is None:
+            found = _resolve_source(plan.source, store,
+                                    need_table=need_tables)
+            by_spec[memo_key] = found
+        source_fp, table, table_fp = found
+        method = plan.method_spec.build()
+        key = fingerprint_score_request(table, method,
+                                        table_fingerprint=table_fp)
+        metrics = () if table is None else tuple(
+            spec.build(table) for spec in plan.metric_specs)
+        compiled.append(CompiledPlan(plan=plan, table=table,
+                                     table_fp=table_fp,
+                                     source_fp=source_fp, method=method,
+                                     key=key, budget=plan.budget_spec,
+                                     metrics=metrics))
+    return compiled
+
+
+def _resolve_source(source, store: Optional[ScoreStore],
+                    need_table: bool = True):
+    """(source fingerprint, table, table fingerprint) for one source.
+
+    For table sources the source fingerprint *is* the table
+    fingerprint. For file sources the store's source binding supplies
+    the table fingerprint when known (warm runs never call
+    :func:`fingerprint_table`, and key-only callers passing
+    ``need_table=False`` skip the parse entirely); a fresh binding is
+    recorded otherwise.
+    """
+    if isinstance(source, TableSource):
+        table = source.table
+        table_fp = fingerprint_table(table)
+        return table_fp, table, table_fp
+    source_fp = source.fingerprint()
+    table_fp = None if store is None else store.resolve_source(source_fp)
+    if table_fp is not None and not need_table:
+        return source_fp, None, table_fp
+    table = source.resolve()
+    if table_fp is None:
+        table_fp = fingerprint_table(table)
+        if store is not None:
+            store.bind_source(source_fp, table_fp)
+    return source_fp, table, table_fp

@@ -1,0 +1,88 @@
+"""Share sweeps as plan batches.
+
+A share sweep — the workload behind paper Figs. 7-8 and Table II — is
+just a structured batch of flow requests: for every budgeted method,
+one plan per share with the raw-score sweep ranking
+(``rank="score"``); for every parameter-free method, a single plan at
+its natural share. :func:`sweep_plans` performs that compilation and
+:func:`run_sweep_plans` serves the batch and folds the results back
+into the classic ``{code: SweepSeries}`` mapping, bit-identical to
+:func:`repro.evaluation.sweep.sweep_methods` — which now routes its
+cached/sharded path through here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..backbones.base import BackboneMethod
+from ..evaluation.sweep import DEFAULT_SHARES, SweepSeries
+from .plan import Plan, flow
+from .serve import FlowResult, serve
+
+
+def sweep_plans(methods: Sequence[BackboneMethod], source,
+                metric, shares: Sequence[float] = DEFAULT_SHARES
+                ) -> List[Plan]:
+    """Compile ``sweep_methods(methods, source, metric, shares)`` into
+    a plan batch.
+
+    ``source`` is anything :func:`repro.flow.flow` accepts (or an
+    existing partial plan); ``metric`` is a registered metric name or
+    a picklable callable. Plan order is methods-major, shares-minor —
+    the order :func:`fold_sweep` consumes.
+    """
+    base = source if isinstance(source, Plan) else flow(source)
+    base = base.metrics(metric)
+    plans: List[Plan] = []
+    for method in methods:
+        stem = base.method(method)
+        if method.parameter_free:
+            plans.append(stem)
+        else:
+            plans.extend(stem.budget(share=share, rank="score")
+                         for share in shares)
+    return plans
+
+
+def fold_sweep(methods: Sequence[BackboneMethod],
+               results: Sequence[FlowResult],
+               shares: Sequence[float] = DEFAULT_SHARES
+               ) -> Dict[str, SweepSeries]:
+    """Fold served :func:`sweep_plans` results into sweep series.
+
+    Mirrors the legacy conventions exactly: parameter-free methods
+    contribute one point at their natural share, and a method whose
+    scoring is inapplicable (Sinkhorn non-convergence) maps to an
+    empty series.
+    """
+    series: Dict[str, SweepSeries] = {}
+    cursor = 0
+    for method in methods:
+        width = 1 if method.parameter_free else len(shares)
+        chunk = results[cursor:cursor + width]
+        cursor += width
+        if any(result.error is not None for result in chunk):
+            series[method.code] = SweepSeries(code=method.code, shares=[],
+                                              values=[],
+                                              parameter_free=True)
+        elif method.parameter_free:
+            series[method.code] = SweepSeries(
+                code=method.code, shares=[chunk[0].kept_share],
+                values=[chunk[0].values[0]], parameter_free=True)
+        else:
+            series[method.code] = SweepSeries(
+                code=method.code, shares=list(shares),
+                values=[result.values[0] for result in chunk],
+                parameter_free=False)
+    return series
+
+
+def run_sweep_plans(methods: Sequence[BackboneMethod], source, metric,
+                    shares: Sequence[float] = DEFAULT_SHARES,
+                    store=None, workers: Optional[int] = None
+                    ) -> Dict[str, SweepSeries]:
+    """Compile, serve and fold a sweep in one call."""
+    plans = sweep_plans(methods, source, metric, shares=shares)
+    results = serve(plans, store=store, workers=workers)
+    return fold_sweep(methods, results, shares=shares)

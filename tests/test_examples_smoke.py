@@ -24,6 +24,12 @@ class TestExamplesRun:
         assert "NC backbone (top 3 edges)" in out
         assert "1-2" in out
 
+    def test_flow_requests(self, capsys):
+        out = run_example("flow_requests.py", capsys)
+        assert "plan fingerprint" in out
+        assert "batched deltas" in out
+        assert "plan.json round-trips" in out
+
     def test_community_recovery(self, capsys):
         out = run_example("community_recovery.py", capsys)
         assert "NMI = 1.000" in out

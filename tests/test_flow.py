@@ -1,0 +1,616 @@
+"""Tests for the repro.flow request API.
+
+Covers the acceptance contract of ISSUE 5: for every backbone method
+a plan run is bit-identical to the legacy extraction path, sweep
+compilation is bit-identical to ``sweep_methods``, and a batch of
+same-source plans performs exactly one scoring pass (verified against
+the store's traffic counters and a score spy). Plus: plan JSON
+artifacts, fingerprints, the ``filter_spec``/``describe`` hooks, the
+share-rounding unification and the flow-facing CLI subcommands.
+"""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backbones.base import ScoredEdges
+from repro.backbones.doubly_stochastic import SinkhornConvergenceError
+from repro.backbones.naive import NaiveThreshold
+from repro.backbones.registry import get_method, method_codes, paper_methods
+from repro.cli import main
+from repro.evaluation.sweep import sweep_methods
+from repro.flow import (FlowResult, Plan, PlanSerializationError, flow,
+                        serve, sweep_plans)
+from repro.flow.sweep import run_sweep_plans
+from repro.graph.edge_table import EdgeTable
+from repro.graph.ingest import write_edges
+from repro.pipeline import ScoreStore
+from repro.pipeline.tasks import CoverageMetric, DensityMetric
+
+
+def random_table(seed: int, n_nodes: int = 24, n_edges: int = 80,
+                 directed: bool = False) -> EdgeTable:
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n_nodes, n_edges)
+    dst = rng.integers(0, n_nodes, n_edges)
+    weight = rng.integers(1, 60, n_edges).astype(float)
+    return EdgeTable(src, dst, weight, n_nodes=n_nodes, directed=directed)
+
+
+@pytest.fixture()
+def table():
+    return random_table(0)
+
+
+@pytest.fixture()
+def edges_csv(tmp_path, table):
+    path = tmp_path / "edges.csv"
+    write_edges(table, path)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Plan-vs-legacy bit identity (the acceptance contract)
+# ----------------------------------------------------------------------
+
+class TestPlanLegacyEquivalence:
+    @pytest.mark.parametrize("code", sorted(method_codes()))
+    def test_share_budget_matches_extract(self, table, code):
+        method = get_method(code)
+        plan = flow(table).method(code)
+        if method.parameter_free:
+            assert plan.run().backbone == method.extract(table)
+        else:
+            assert plan.budget(share=0.2).run().backbone \
+                == method.extract(table, share=0.2)
+
+    @pytest.mark.parametrize("code", ["NT", "DF", "NC", "NCp", "HSS",
+                                      "KC"])
+    def test_n_edges_budget_matches_extract(self, table, code):
+        method = get_method(code)
+        plan = flow(table).method(code).budget(n_edges=11)
+        assert plan.run().backbone == method.extract(table, n_edges=11)
+
+    @pytest.mark.parametrize("code", ["NC", "NCp", "HSS", "KC"])
+    def test_default_budget_matches_extract(self, table, code):
+        method = get_method(code)
+        assert flow(table).method(code).run().backbone \
+            == method.extract(table)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000),
+           share=st.floats(0.0, 1.0),
+           code=st.sampled_from(["NT", "DF", "NC", "NCp", "KC"]),
+           delta=st.floats(0.0, 3.0))
+    def test_property_share_budget_bit_identical(self, seed, share, code,
+                                                 delta):
+        table = random_table(seed, n_nodes=16, n_edges=50)
+        params = {"delta": delta} if code in ("NC", "NCp") else {}
+        method = get_method(code, **params)
+        legacy = method.extract(table, share=share)
+        result = flow(table).method(code, **params) \
+            .budget(share=share).run()
+        assert result.backbone == legacy
+        assert np.array_equal(result.backbone.weight, legacy.weight)
+
+    def test_nc_delta_reaches_extraction(self, table):
+        loose = flow(table).method("NC", delta=0.5).run().backbone
+        strict = flow(table).method("NC", delta=3.0).run().backbone
+        assert strict.m < loose.m
+        assert strict == get_method("NC", delta=3.0).extract(table)
+
+    def test_method_codes_case_insensitive(self, table):
+        assert flow(table).method("nc").run().backbone \
+            == flow(table).method("NC").run().backbone
+
+    def test_live_instance_accepted(self, table):
+        method = get_method("NC", delta=1.0)
+        assert flow(table).method(method).run().backbone \
+            == method.extract(table)
+
+    def test_run_raises_what_legacy_raises(self, table):
+        with pytest.raises(ValueError, match="exactly one"):
+            flow(table).method("NT").run()  # NT has no default budget
+        with pytest.raises(ValueError, match="parameter-free"):
+            flow(table).method("MST").budget(share=0.5).run()
+
+    def test_parameter_free_budget_raises_under_score_rank(self, table):
+        """A budget on MST must raise for rank="score" too, not be
+        silently dropped."""
+        with pytest.raises(ValueError, match="parameter-free"):
+            flow(table).method("MST").budget(share=0.5,
+                                             rank="score").run()
+
+
+# ----------------------------------------------------------------------
+# Batched serving: one scoring pass per distinct request
+# ----------------------------------------------------------------------
+
+class TestBatchDeduplication:
+    def test_run_many_deltas_single_scoring_pass(self, table):
+        """The acceptance contract: k deltas, exactly one score call."""
+        store = ScoreStore()
+        results = flow(table).method("NC").run_many(
+            store=store, delta=[0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0])
+        assert len(results) == 8
+        # Store-verified: the batch resolves to one request — a single
+        # miss and put; the duplicate keys never even hit the store.
+        assert store.stats.puts == 1
+        assert store.stats.misses == 1
+        assert store.stats.requests == 1
+        assert len({result.cache_key for result in results}) == 1
+        for result, delta in zip(results, [0.5, 1.0, 1.5, 2.0, 2.5, 3.0,
+                                           3.5, 4.0]):
+            assert result.backbone \
+                == get_method("NC", delta=delta).extract(table)
+
+    def test_batch_spy_on_method_score(self, table, monkeypatch):
+        calls = []
+        original = NaiveThreshold.score
+
+        def counting(self, arg):
+            calls.append(1)
+            return original(self, arg)
+
+        monkeypatch.setattr(NaiveThreshold, "score", counting)
+        plans = [flow(table).method("NT").budget(share=share)
+                 for share in (0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0)]
+        results = serve(plans)
+        assert calls == [1]  # eight plans, one scoring pass
+        assert [r.backbone.m for r in results] \
+            == [get_method("NT").extract(table, share=s).m
+                for s in (0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0)]
+
+    def test_run_many_grid_is_cartesian(self, table):
+        plans = flow(table).method("NC").variants(
+            delta=[0.5, 1.0], share=[0.1, 0.2, 0.3])
+        assert len(plans) == 6
+        deltas = [dict(plan.method_spec.params)["delta"]
+                  for plan in plans]
+        shares = [plan.budget_spec.share for plan in plans]
+        assert deltas == [0.5, 0.5, 0.5, 1.0, 1.0, 1.0]
+        assert shares == [0.1, 0.2, 0.3] * 2
+
+    def test_batch_across_methods_scores_each_once(self, table,
+                                                   monkeypatch):
+        store = ScoreStore()
+        plans = [flow(table).method(code).budget(share=share)
+                 for code in ("NT", "DF")
+                 for share in (0.1, 0.5, 0.9)]
+        serve(plans, store=store)
+        assert store.stats.puts == 2  # one scored table per method
+        assert store.stats.misses == 2
+
+    def test_workers_match_serial(self, table):
+        plans = [flow(table).method("NT").budget(share=s)
+                 for s in (0.1, 0.5)] \
+            + [flow(table).method("DF").budget(share=0.3)]
+        serial = serve(plans)
+        fanned = serve(plans, workers=2)
+        assert [r.backbone for r in serial] \
+            == [r.backbone for r in fanned]
+
+    def test_sinkhorn_failure_is_per_plan(self):
+        # A star graph is not balanceable: DS must fail, NT must not.
+        star = EdgeTable([0, 0, 0], [1, 2, 3], [5.0, 4.0, 3.0],
+                         directed=False)
+        results = serve([flow(star).method("DS"),
+                         flow(star).method("NT").budget(share=0.5)])
+        assert isinstance(results[0].error, SinkhornConvergenceError)
+        assert results[0].backbone is None
+        assert results[1].ok and results[1].backbone.m > 0
+        with pytest.raises(SinkhornConvergenceError):
+            flow(star).method("DS").run()
+
+    def test_file_source_parsed_once_per_batch(self, edges_csv,
+                                               monkeypatch):
+        from repro.flow import spec as spec_mod
+
+        calls = []
+        original = spec_mod.read_edges
+
+        def counting(path, **kwargs):
+            calls.append(str(path))
+            return original(path, **kwargs)
+
+        monkeypatch.setattr(spec_mod, "read_edges", counting)
+        base = flow(str(edges_csv), directed=False).method("NT")
+        serve([base.budget(share=s) for s in (0.1, 0.2, 0.3)])
+        assert len(calls) == 1
+
+
+# ----------------------------------------------------------------------
+# Sweep compilation
+# ----------------------------------------------------------------------
+
+class TestSweepCompilation:
+    def test_plan_batch_matches_sweep_methods(self, table):
+        metric = CoverageMetric(table)
+        shares = (0.1, 0.35, 1.0)
+        serial = sweep_methods(paper_methods(), table, metric,
+                               shares=shares)
+        compiled = run_sweep_plans(paper_methods(), table, metric,
+                                   shares=shares)
+        assert serial == compiled
+
+    def test_sweep_methods_store_routes_through_flow(self, table,
+                                                     monkeypatch):
+        calls = []
+        from repro.flow import sweep as flow_sweep
+
+        original = flow_sweep.run_sweep_plans
+
+        def spying(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(flow_sweep, "run_sweep_plans", spying)
+        metric = DensityMetric()
+        serial = sweep_methods([NaiveThreshold()], table, metric)
+        cached = sweep_methods([NaiveThreshold()], table, metric,
+                               store=ScoreStore())
+        assert calls == [1]
+        assert serial == cached
+
+    def test_unscorable_method_maps_to_empty_series(self):
+        star = EdgeTable([0, 0, 0], [1, 2, 3], [5.0, 4.0, 3.0],
+                         directed=False)
+        methods = [get_method("DS"), NaiveThreshold()]
+        metric = DensityMetric()
+        serial = sweep_methods(methods, star, metric, shares=(0.5, 1.0))
+        compiled = run_sweep_plans(methods, star, metric,
+                                   shares=(0.5, 1.0))
+        assert compiled == serial
+        assert compiled["DS"].shares == []
+
+    def test_sweep_plans_shape(self, table):
+        plans = sweep_plans(paper_methods(), table, "density",
+                            shares=(0.1, 0.5))
+        budgeted = [plan for plan in plans
+                    if plan.budget_spec is not None]
+        # 4 budgeted paper methods x 2 shares + MST + DS natural points.
+        assert len(plans) == 10
+        assert len(budgeted) == 8
+        assert all(plan.budget_spec.rank == "score" for plan in budgeted)
+
+    def test_file_sweep_matches_table_sweep(self, table, edges_csv):
+        metric = DensityMetric()
+        by_table = run_sweep_plans([NaiveThreshold()], table, metric,
+                                   shares=(0.2, 0.8))
+        by_file = run_sweep_plans([NaiveThreshold()],
+                                  flow(str(edges_csv), directed=False),
+                                  metric, shares=(0.2, 0.8))
+        assert by_table == by_file
+
+
+# ----------------------------------------------------------------------
+# Warm file sources: key derivation without re-hashing tables
+# ----------------------------------------------------------------------
+
+class TestFileSourceBindings:
+    def test_warm_run_never_hashes_the_table(self, edges_csv, tmp_path,
+                                             monkeypatch):
+        store = ScoreStore(tmp_path / "cache")
+        plan = flow(str(edges_csv), directed=False).method("NT") \
+            .budget(share=0.5)
+        cold = plan.run(store=store)
+
+        from repro.flow import compile as compile_mod
+
+        def forbidden(arg):
+            raise AssertionError("fingerprint_table called on a warm "
+                                 "file run")
+
+        monkeypatch.setattr(compile_mod, "fingerprint_table", forbidden)
+        warm = plan.run(store=store)
+        assert warm.backbone == cold.backbone
+        assert store.stats.disk_hits + store.stats.memory_hits >= 1
+
+    def test_warm_describe_never_parses_the_file(self, edges_csv,
+                                                 tmp_path, monkeypatch):
+        """--explain against a warm store answers from the file hash
+        and the stored binding alone — no parse, no table hash."""
+        store = ScoreStore(tmp_path / "cache")
+        plan = flow(str(edges_csv), directed=False).method("NT") \
+            .budget(share=0.5)
+        cold_info = plan.describe(store=store)
+
+        from repro.flow import compile as compile_mod
+        from repro.flow import spec as spec_mod
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("warm describe touched the table")
+
+        monkeypatch.setattr(compile_mod, "fingerprint_table", forbidden)
+        monkeypatch.setattr(spec_mod, "read_edges", forbidden)
+        warm_info = plan.describe(store=store)
+        assert warm_info == cold_info
+
+    def test_file_url_source(self, edges_csv, table):
+        result = flow(f"file://{edges_csv}", directed=False) \
+            .method("NT").budget(share=0.5).run()
+        assert result.backbone \
+            == get_method("NT").extract(table, share=0.5)
+
+    def test_remote_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unsupported source scheme"):
+            flow("s3://bucket/edges.csv")
+
+
+# ----------------------------------------------------------------------
+# Identity: fingerprints and JSON artifacts
+# ----------------------------------------------------------------------
+
+class TestPlanIdentity:
+    def test_fingerprint_deterministic(self, edges_csv):
+        build = lambda: flow(str(edges_csv)).method("NC", delta=1.0) \
+            .budget(share=0.1).metrics("density")  # noqa: E731
+        assert build().fingerprint() == build().fingerprint()
+
+    def test_fingerprint_sees_extraction_only_knobs(self, edges_csv):
+        """Unlike the score-cache key, the plan fingerprint includes
+        NC's delta — two deltas are two different requests."""
+        base = flow(str(edges_csv)).method("NC", delta=1.0)
+        other = flow(str(edges_csv)).method("NC", delta=2.0)
+        assert base.fingerprint() != other.fingerprint()
+
+    def test_fingerprint_sees_file_content(self, tmp_path, table):
+        a = tmp_path / "a.csv"
+        b = tmp_path / "b.csv"
+        write_edges(table, a)
+        write_edges(table.with_weights(table.weight * 2), b)
+        assert flow(str(a)).method("NT").fingerprint() \
+            != flow(str(b)).method("NT").fingerprint()
+
+    def test_json_round_trip(self, edges_csv, table):
+        plan = flow(str(edges_csv), directed=False) \
+            .method("NC", delta=1.0).budget(share=0.1) \
+            .metrics("density", "coverage")
+        clone = Plan.from_json(plan.to_json())
+        assert clone.fingerprint() == plan.fingerprint()
+        assert clone.run().backbone == plan.run().backbone
+
+    def test_json_rejects_in_memory_sources(self, table):
+        with pytest.raises(PlanSerializationError, match="in-memory"):
+            flow(table).method("NT").to_json()
+
+    def test_json_rejects_live_instances(self, edges_csv):
+        plan = flow(str(edges_csv)).method(NaiveThreshold())
+        with pytest.raises(PlanSerializationError, match="live method"):
+            plan.to_json()
+
+    def test_from_json_validates(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            Plan.from_json("{nope")
+        with pytest.raises(ValueError, match="unsupported plan schema"):
+            Plan.from_json(json.dumps({"plan": 99}))
+        with pytest.raises(ValueError, match="unknown backbone code"):
+            Plan.from_json(json.dumps({
+                "plan": 1, "source": {"kind": "file", "path": "x.csv"},
+                "method": {"code": "XYZ"}}))
+
+    def test_plans_are_picklable(self, edges_csv, table):
+        for plan in (flow(str(edges_csv)).method("NC", delta=2.0)
+                     .budget(share=0.1).metrics("density"),
+                     flow(table).method(NaiveThreshold())
+                     .metrics(DensityMetric())):
+            clone = pickle.loads(pickle.dumps(plan))
+            assert clone.method_spec.build().code \
+                == plan.method_spec.build().code
+
+    def test_describe_exposes_cache_key(self, edges_csv, table):
+        from repro.pipeline import fingerprint_score_request
+
+        info = flow(str(edges_csv), directed=False).method("NT") \
+            .budget(share=0.5).describe()
+        assert info["cache"]["score_key"] \
+            == fingerprint_score_request(table, NaiveThreshold())
+        assert info["method"]["code"] == "NT"
+        assert info["filter"] == {"kind": "share", "share": 0.5,
+                                  "rank": "method"}
+
+
+# ----------------------------------------------------------------------
+# The BackboneMethod hooks the compiler relies on
+# ----------------------------------------------------------------------
+
+class TestMethodHooks:
+    def test_describe_includes_extraction_only_config(self):
+        info = get_method("NC", delta=2.5).describe()
+        assert info["code"] == "NC"
+        assert info["config"]["delta"] == 2.5
+        assert info["config"]["use_posterior"] is True
+        assert not info["parameter_free"]
+
+    def test_filter_spec_resolves_defaults(self):
+        assert get_method("NC").filter_spec() \
+            == {"kind": "threshold", "threshold": 0.0}
+        assert get_method("MST").filter_spec() == {"kind": "natural"}
+        assert get_method("NT").filter_spec(share=0.25) \
+            == {"kind": "share", "share": 0.25}
+        assert get_method("NT").filter_spec(n_edges=7) \
+            == {"kind": "n_edges", "n_edges": 7}
+
+    def test_filter_spec_validates_like_extract(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            get_method("NT").filter_spec()
+        with pytest.raises(ValueError, match="parameter-free"):
+            get_method("MST").filter_spec(share=0.1)
+
+
+# ----------------------------------------------------------------------
+# Share rounding unification (satellite fix)
+# ----------------------------------------------------------------------
+
+class TestShareRounding:
+    def scored(self, m=40, seed=3):
+        table = random_table(seed, n_nodes=20, n_edges=m)
+        scores = np.linspace(1.0, 2.0, table.m)
+        return ScoredEdges(table=table, score=scores, method="test")
+
+    def test_threshold_and_top_share_agree_at_tiny_shares(self):
+        scored = self.scored()
+        for share in (0.0, 1e-6, 0.004, 0.011, 0.02, 0.5, 1.0):
+            k = scored.share_to_k(share)
+            assert k == min(int(round(share * scored.m)), scored.m)
+            assert scored.top_share(share).m == k
+            threshold = scored.threshold_for_share(share)
+            # The strict cut keeps no more edges than the k budget —
+            # the two rounding rules can no longer disagree by one.
+            assert scored.filter(threshold).m <= k
+
+    def test_k_zero_threshold_keeps_nothing(self):
+        scored = self.scored()
+        threshold = scored.threshold_for_share(0.0)
+        assert threshold == float(scored.score.max())
+        assert scored.filter(threshold).m == 0
+        assert scored.top_share(0.0).m == 0
+
+    def test_share_validation(self):
+        scored = self.scored()
+        with pytest.raises(ValueError, match=r"share must be in \[0, 1\]"):
+            scored.top_share(1.5)
+        with pytest.raises(ValueError, match=r"share must be in \[0, 1\]"):
+            scored.threshold_for_share(-0.1)
+
+
+# ----------------------------------------------------------------------
+# CLI: plan artifacts and --explain
+# ----------------------------------------------------------------------
+
+class TestFlowCLI:
+    def test_flow_run_plan_json(self, edges_csv, tmp_path, capsys):
+        plan = flow(str(edges_csv), directed=False).method("NT") \
+            .budget(share=0.2).metrics("density", "edges")
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(plan.to_json())
+        out_path = tmp_path / "backbone.csv"
+        assert main(["flow", "run", str(plan_path), "--output",
+                     str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "kept" in out and "density:" in out
+        from repro.graph.ingest import read_edges
+        assert read_edges(out_path, directed=False) \
+            == plan.run().backbone
+
+    def test_flow_run_explain_does_not_execute(self, edges_csv,
+                                               tmp_path, capsys,
+                                               monkeypatch):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(flow(str(edges_csv)).method("NC")
+                             .budget(share=0.1).to_json())
+        monkeypatch.setattr(
+            NaiveThreshold, "score",
+            lambda *a: (_ for _ in ()).throw(AssertionError))
+        import repro.core.noise_corrected as nc_mod
+        monkeypatch.setattr(
+            nc_mod.NoiseCorrectedBackbone, "score",
+            lambda *a: (_ for _ in ()).throw(
+                AssertionError("explain must not score")))
+        assert main(["flow", "run", str(plan_path), "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "score key" in out and "NC" in out
+
+    def test_flow_run_missing_plan_errors(self, tmp_path, capsys):
+        assert main(["flow", "run", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read plan" in capsys.readouterr().err
+
+    def test_flow_run_invalid_plan_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["flow", "run", str(bad)]) == 2
+        assert "unsupported plan schema" in capsys.readouterr().err
+
+    def test_backbone_explain_prints_plan(self, edges_csv, tmp_path,
+                                          capsys):
+        out = tmp_path / "backbone.csv"
+        assert main(["backbone", str(edges_csv), str(out), "--method",
+                     "NC", "--share", "0.1", "--explain"]) == 0
+        text = capsys.readouterr().out
+        assert "source" in text and "fingerprint" in text
+        assert "delta=1.64" in text
+        assert "score key" in text
+        assert not out.exists()  # nothing was executed or written
+
+    def test_backbone_cache_dir_serves_repeat_extractions(self,
+                                                          edges_csv,
+                                                          tmp_path,
+                                                          monkeypatch,
+                                                          capsys):
+        cache = tmp_path / "cache"
+        argv = ["backbone", str(edges_csv), str(tmp_path / "o.csv"),
+                "--method", "NT", "--share", "0.3", "--cache-dir",
+                str(cache)]
+        assert main(argv) == 0
+        first = (tmp_path / "o.csv").read_text()
+        monkeypatch.setattr(
+            NaiveThreshold, "score",
+            lambda *a: (_ for _ in ()).throw(
+                AssertionError("warm backbone rescored")))
+        assert main(argv) == 0
+        assert (tmp_path / "o.csv").read_text() == first
+
+    def test_backbone_explain_respects_validation(self, edges_csv,
+                                                  tmp_path, capsys):
+        out = tmp_path / "backbone.csv"
+        assert main(["backbone", str(edges_csv), str(out), "--method",
+                     "MST", "--share", "0.1", "--explain"]) == 2
+        assert "parameter-free" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Serving details
+# ----------------------------------------------------------------------
+
+class TestServeDetails:
+    def test_results_align_with_plans(self, table):
+        plans = [flow(table).method("NT").budget(share=0.1),
+                 flow(table).method("MST"),
+                 flow(table).method("NC").budget(n_edges=5)]
+        results = serve(plans)
+        assert [r.plan for r in results] == plans
+        assert all(isinstance(r, FlowResult) for r in results)
+
+    def test_metrics_resolved_against_source(self, table):
+        result = flow(table).method("NT").budget(share=0.3) \
+            .metrics("coverage", "density", "edges").run()
+        from repro.evaluation.coverage import coverage
+        from repro.graph.metrics import density
+        backbone = result.backbone
+        assert result.metrics["coverage"] \
+            == coverage(table, backbone)
+        assert result.metrics["density"] == density(backbone)
+        assert result.metrics["edges"] == float(backbone.m)
+
+    def test_kept_share_matches_sweep_convention(self, table):
+        result = flow(table).method("MST").run()
+        expected = result.backbone.m \
+            / max(table.without_self_loops().m, 1)
+        assert result.kept_share == expected
+
+    def test_unknown_metric_rejected_at_build(self, table):
+        with pytest.raises(ValueError, match="unknown metric"):
+            flow(table).method("NT").metrics("bogus")
+
+    def test_budget_validation_at_build(self, table):
+        with pytest.raises(ValueError, match="at most one"):
+            flow(table).method("NT").budget(share=0.1, n_edges=3)
+        with pytest.raises(ValueError, match="share must be in"):
+            flow(table).method("NT").budget(share=1.5)
+
+    def test_empty_batch(self):
+        assert serve([]) == []
+
+    def test_serve_persistent_store_round_trip(self, table, tmp_path):
+        store = ScoreStore(tmp_path / "cache")
+        plan = flow(table).method("NC").budget(share=0.1)
+        cold = plan.run(store=store)
+        fresh = ScoreStore(tmp_path / "cache")
+        warm = plan.run(store=fresh)
+        assert warm.backbone == cold.backbone
+        assert fresh.stats.disk_hits == 1
+        assert fresh.stats.misses == 0
