@@ -15,7 +15,7 @@ leaving only the eight (cheap) delta filters. Asserts:
 """
 
 import numpy as np
-from conftest import emit
+from conftest import emit, record_bench
 
 from repro.core.noise_corrected import NoiseCorrectedBackbone
 from repro.flow import flow
@@ -99,6 +99,12 @@ def test_flow_batch_speedup_and_identity(benchmark, tmp_path):
         "batched extraction diverged from method.extract"
 
     speedup = cold_s / batch_s
+    record_bench("flow_batch",
+                 cold_singles_s=round(cold_s, 4),
+                 batched_s=round(batch_s, 4),
+                 speedup_batched_over_cold=round(speedup, 2),
+                 deltas=len(DELTAS), n_edges=N_EDGES,
+                 scoring_passes=store.stats.puts)
     assert speedup >= MIN_BATCH_SPEEDUP, \
         f"batched run_many only {speedup:.1f}x faster than cold " \
         f"singles (need >= {MIN_BATCH_SPEEDUP}x)"

@@ -1,20 +1,116 @@
-"""Benchmark fixtures: shared paper-scale world and helpers.
+"""Benchmark fixtures: shared paper-scale world, helpers, recording.
 
 Every benchmark regenerates one of the paper's tables or figures,
 prints the rows/series the paper reports (visible with ``-s`` and in
 this file's captured output on failure), and asserts the qualitative
 shape the paper claims.
+
+Every benchmark module additionally leaves a machine-readable trace:
+``BENCH_<name>.json`` in the repo root (``bench_serve_load.py`` →
+``BENCH_serve_load.json``), holding the wall-clock seconds of each of
+its tests plus an environment block — written automatically by the
+hooks below, no per-benchmark code needed. Benchmarks that measure
+something richer than "how long did the test take" (speedup ratios,
+latency percentiles, store counters) add it with
+:func:`record_bench`, and it lands in the same file under
+``metrics``. Re-anchoring sessions diff these files to see the perf
+trajectory instead of re-deriving it from CI logs.
 """
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.generators import SyntheticWorld, generate_occupation_study
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Per-benchmark-module payloads accumulated over the session:
+#: name -> {"timings_s": {test: seconds}, "metrics": {...}}.
+_RESULTS = {}
 
 
 def pytest_collection_modifyitems(items):
     """Every benchmark is tier-2: marked ``slow`` for CI selection."""
     for item in items:
         item.add_marker(pytest.mark.slow)
+
+
+# ----------------------------------------------------------------------
+# BENCH_<name>.json recording
+# ----------------------------------------------------------------------
+
+def _bench_name(module_name: str) -> str:
+    short = module_name.rsplit(".", 1)[-1]
+    return short[len("bench_"):] if short.startswith("bench_") \
+        else short
+
+
+def _payload_for(name: str) -> dict:
+    return _RESULTS.setdefault(name, {"timings_s": {}, "metrics": {}})
+
+
+def record_bench(name: str, **metrics) -> None:
+    """Attach named metrics to this session's ``BENCH_<name>.json``.
+
+    ``name`` is the benchmark's short name (``"serve_load"``, not the
+    file name); values must be JSON-serializable. Call it as many
+    times as convenient — keys merge, later calls win.
+    """
+    _payload_for(name)["metrics"].update(metrics)
+
+
+def bench_environment() -> dict:
+    """The environment block stamped into every results file."""
+    import numpy
+    try:
+        import scipy
+        scipy_version = scipy.__version__
+    except ImportError:
+        scipy_version = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy.__version__,
+        "scipy": scipy_version,
+    }
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call":
+        return
+    name = _bench_name(item.module.__name__)
+    _payload_for(name)["timings_s"][item.name] = round(
+        report.duration, 6)
+    if report.outcome != "passed":
+        _payload_for(name)["metrics"]["failed"] = True
+
+
+def pytest_sessionfinish(session, exitstatus):
+    for name, payload in _RESULTS.items():
+        if not payload["timings_s"] and not payload["metrics"]:
+            continue
+        out = {"bench": name,
+               "recorded_unix": round(time.time(), 3),
+               "argv": " ".join(sys.argv[:4]),
+               "env": bench_environment()}
+        out.update(payload)
+        target = REPO_ROOT / f"BENCH_{name}.json"
+        try:
+            target.write_text(json.dumps(out, indent=2, sort_keys=True)
+                              + "\n")
+        except OSError:
+            pass  # a read-only checkout must not fail the bench run
 
 
 @pytest.fixture(scope="session")

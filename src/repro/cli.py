@@ -197,6 +197,41 @@ def build_parser() -> argparse.ArgumentParser:
         "migrate", help="copy every entry into another backend")
     cache_migrate.add_argument("source", help="cache to copy from")
     cache_migrate.add_argument("dest", help="cache to copy into")
+
+    serve = commands.add_parser(
+        "serve",
+        help="run or talk to the long-lived backbone daemon")
+    serve_commands = serve.add_subparsers(dest="serve_command",
+                                          required=True)
+    serve_start = serve_commands.add_parser(
+        "start", help="start the daemon (blocks until shutdown)")
+    serve_start.add_argument("--host", default="127.0.0.1",
+                             help="bind address (default 127.0.0.1)")
+    serve_start.add_argument("--port", type=int, default=8710,
+                             help="bind port; 0 picks a free one "
+                                  "(default 8710)")
+    serve_start.add_argument("--workers", type=int,
+                             help="process fan-out for cold scoring; "
+                                  "-1 = one per CPU")
+    serve_start.add_argument("--cache-dir",
+                             help="persistent scored-table cache "
+                                  "(directory, .sqlite file or spec); "
+                                  "omitted = memory-only")
+    serve_start.add_argument("--deadline", type=float, default=30.0,
+                             help="default per-request deadline in "
+                                  "seconds (default 30)")
+    serve_start.add_argument("--batch-window", type=float, default=0.05,
+                             help="admission window in seconds over "
+                                  "which concurrent requests coalesce "
+                                  "into one batch (default 0.05)")
+    for name, help_text in (
+            ("status", "print a running daemon's status as JSON"),
+            ("shutdown", "ask a running daemon to stop")):
+        sub = serve_commands.add_parser(name, help=help_text)
+        sub.add_argument("--host", default="127.0.0.1",
+                         help="daemon address (default 127.0.0.1)")
+        sub.add_argument("--port", type=int, default=8710,
+                         help="daemon port (default 8710)")
     return parser
 
 
@@ -483,13 +518,44 @@ def _cache_migrate(source, dest) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve import BackboneDaemon, ServeClient
+
+    if args.serve_command == "start":
+        daemon = BackboneDaemon(
+            host=args.host, port=args.port, cache_dir=args.cache_dir,
+            workers=args.workers, batch_window=args.batch_window,
+            default_deadline=args.deadline).start()
+        print(f"backbone daemon listening on {args.host}:{daemon.port} "
+              f"(POST /v1/run, GET /v1/status, POST /v1/shutdown)")
+        daemon.run_forever()
+        print("backbone daemon stopped")
+        return 0
+    client = ServeClient(args.host, args.port)
+    if args.serve_command == "status":
+        try:
+            print(json.dumps(client.status(), indent=2, sort_keys=True))
+        except OSError as error:
+            print(f"no daemon at {args.host}:{args.port} ({error})",
+                  file=sys.stderr)
+            return 1
+        return 0
+    if client.shutdown():
+        print("daemon shutting down")
+        return 0
+    print(f"no daemon at {args.host}:{args.port}", file=sys.stderr)
+    return 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {"backbone": _run_backbone, "score": _run_score,
                 "info": _run_info, "convert": _run_convert,
                 "sweep": _run_sweep, "flow": _run_flow,
-                "cache": _run_cache}
+                "cache": _run_cache, "serve": _run_serve}
     return handlers[args.command](args)
 
 

@@ -17,10 +17,17 @@ plans — many users, many deltas, many budgets, same sources — and it
    single ranking pass (``top_share_many``, bit-identical to
    per-plan filtering by contract).
 
-Deterministic scoring failures (Sinkhorn non-convergence) are recorded
-as negative cache entries and surfaced per-plan as
-:attr:`FlowResult.error` instead of poisoning the whole batch;
-:meth:`Plan.run` re-raises them to match the legacy single-call path.
+Per-plan failures are *isolated*: any scoring, filtering or metric
+exception — the deterministic Sinkhorn non-convergence (recorded as a
+negative cache entry), a budget that the method rejects, an unexpected
+bug in one method — is surfaced as that plan's :attr:`FlowResult.error`
+instead of poisoning the batch; :meth:`Plan.run` re-raises it to match
+the legacy single-call path bit for bit. A worker process dying
+mid-batch degrades to a serial re-run of the lost scoring requests
+(see :func:`repro.util.parallel.parallel_map`); it never surfaces a
+raw ``BrokenProcessPool``. :func:`serve_compiled` is the
+already-compiled entry point the long-lived daemon
+(:mod:`repro.serve`) builds on to add compile-time isolation too.
 """
 
 from __future__ import annotations
@@ -83,6 +90,19 @@ def serve(plans: Sequence[Plan], store: Optional[ScoreStore] = None,
     if store is None:
         store = ScoreStore()
     compiled = compile_plans(plans, store)
+    return serve_compiled(compiled, store, workers)
+
+
+def serve_compiled(compiled: Sequence[CompiledPlan],
+                   store: ScoreStore,
+                   workers: Optional[int] = None) -> List[FlowResult]:
+    """Score, filter and measure an already-compiled batch.
+
+    The execution half of :func:`serve`, split out so callers that
+    compile with their own isolation policy (the daemon compiles per
+    source group to contain unreadable sources) reuse the exact same
+    scheduling, deduplication and per-plan error handling.
+    """
     scored_by_key, error_by_key = _score_batch(compiled, store, workers)
     shared = _shared_rankings(compiled, scored_by_key, error_by_key)
     results = []
@@ -93,15 +113,22 @@ def serve(plans: Sequence[Plan], store: Optional[ScoreStore] = None,
             results.append(FlowResult(plan=item.plan, cache_key=item.key,
                                       table=item.table, error=error))
             continue
-        backbone = shared.get(index)
-        if backbone is None:
-            backbone = _apply_filter(item, scored_by_key[item.key])
-        base_m = nonloop_m.get(id(item.table))
-        if base_m is None:
-            base_m = item.table.without_self_loops().m
-            nonloop_m[id(item.table)] = base_m
-        kept = backbone.m / max(base_m, 1)
-        values = tuple(metric(backbone) for metric in item.metrics)
+        try:
+            backbone = shared.get(index)
+            if backbone is None:
+                backbone = _apply_filter(item, scored_by_key[item.key])
+            base_m = nonloop_m.get(id(item.table))
+            if base_m is None:
+                base_m = item.table.without_self_loops().m
+                nonloop_m[id(item.table)] = base_m
+            kept = backbone.m / max(base_m, 1)
+            values = tuple(metric(backbone) for metric in item.metrics)
+        except Exception as error:
+            # Filter/metric isolation: a budget the method rejects (or
+            # a metric blowing up) fails this plan, not its batchmates.
+            results.append(FlowResult(plan=item.plan, cache_key=item.key,
+                                      table=item.table, error=error))
+            continue
         results.append(FlowResult(plan=item.plan, cache_key=item.key,
                                   table=item.table, backbone=backbone,
                                   values=values, kept_share=kept))
@@ -134,8 +161,12 @@ def _score_batch(compiled: Sequence[CompiledPlan], store: ScoreStore,
             spec = store.worker_spec()
             payloads = [(item.method, item.table, spec, item.key)
                         for item in pending]
+            # retry_serial: a worker killed mid-batch degrades to
+            # scoring the lost requests in-process, never to a raw
+            # BrokenProcessPool surfacing to the caller.
             outcomes = parallel_map(_score_remote, payloads,
-                                    workers=min(count, len(pending)))
+                                    workers=min(count, len(pending)),
+                                    retry_serial=True)
             for worker_stats, extras in outcomes:
                 for key, entry in extras:
                     store.adopt(key, entry)
@@ -146,7 +177,11 @@ def _score_batch(compiled: Sequence[CompiledPlan], store: ScoreStore,
         try:
             scored_by_key[key] = score_with_store(item.method, item.table,
                                                   store, key=key)
-        except SinkhornConvergenceError as error:
+        except Exception as error:
+            # Per-plan isolation: deterministic failures (Sinkhorn
+            # non-convergence) are negative-cached by the store; any
+            # other scoring exception still fails only the plans that
+            # share this key, never the batch.
             error_by_key[key] = error
     return scored_by_key, error_by_key
 
@@ -165,6 +200,11 @@ def _score_remote(payload) -> Tuple[object, tuple]:
         score_with_store(method, table, store, key=key)
     except SinkhornConvergenceError:
         pass  # the negative entry is cached; the parent re-raises it
+    except Exception:
+        # Non-cacheable failure: ship nothing; the parent's serial
+        # pass recomputes, hits the same error and isolates it per
+        # plan instead of this worker poisoning the pool map.
+        pass
     extras = tuple(store.memory_entries()) if spec is None else ()
     return store.stats, extras
 

@@ -115,12 +115,17 @@ class KVBackend(StoreBackend):
     retry_wait:
         Base backoff in seconds, doubled per retry; ``0`` (the
         default) retries immediately, which is what tests want.
+    sleep:
+        Sleep function used between retries. Defaults to
+        ``time.sleep``; tests inject a fake clock here to assert
+        backoff timing without real waiting.
     """
 
     scheme = "kv"
 
     def __init__(self, transport=None, timeout: float = 5.0,
-                 max_attempts: int = 3, retry_wait: float = 0.0):
+                 max_attempts: int = 3, retry_wait: float = 0.0,
+                 sleep=time.sleep):
         if max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
         self.transport = transport if transport is not None \
@@ -129,6 +134,7 @@ class KVBackend(StoreBackend):
         self.max_attempts = int(max_attempts)
         self.retry_wait = float(retry_wait)
         self.retries = 0
+        self._sleep = sleep
 
     def describe(self) -> str:
         return f"kv ({type(self.transport).__name__})"
@@ -144,7 +150,7 @@ class KVBackend(StoreBackend):
                 last_error = error
                 self.retries += 1
                 if attempt + 1 < self.max_attempts and self.retry_wait:
-                    time.sleep(self.retry_wait * (2 ** attempt))
+                    self._sleep(self.retry_wait * (2 ** attempt))
         raise KVUnavailableError(
             f"{op} failed after {self.max_attempts} attempts: "
             f"{last_error}") from last_error

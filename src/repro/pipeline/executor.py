@@ -102,8 +102,12 @@ def execute(graph: SweepGraph, store: Optional[ScoreStore] = None,
     spec = None if store is None else store.worker_spec()
     payloads = [(shard, graph.table, spec, store is not None,
                  keys[index]) for index, shard in pending]
+    # retry_serial: a dead worker degrades to running the lost shards
+    # in-process (identical results; scoring is deterministic) instead
+    # of surfacing a raw BrokenProcessPool from a sweep.
     results = parallel_map(_run_shard_remote, payloads,
-                           workers=min(count, len(pending)))
+                           workers=min(count, len(pending)),
+                           retry_serial=True)
     stats = CacheStats()
     for (index, _), (shard_series, worker_stats, extras) \
             in zip(pending, results):
@@ -294,7 +298,8 @@ class Pipeline:
             payloads.append((method, table, self.store.worker_spec(),
                              key))
         results = parallel_map(_warm_remote, payloads,
-                               workers=min(chosen, len(payloads)))
+                               workers=min(chosen, len(payloads)),
+                               retry_serial=True)
         for result in results:
             if result is None:
                 continue

@@ -27,10 +27,19 @@ All traffic is counted in :class:`CacheStats`, which the executor
 surfaces so sweeps can report hit rates alongside their results, and
 :meth:`ScoreStore.gc` applies an LRU eviction policy
 (:class:`~repro.pipeline.backends.GCPolicy`) to the persistent tier.
+
+The store **degrades instead of crashing** when its backend goes away:
+a terminal :class:`~repro.pipeline.backends.KVUnavailableError` (the
+client's retry budget is already spent by then) is logged once, flips
+:attr:`CacheStats.degraded`, and switches the store to memory-only
+operation — a cache outage slows scoring requests down, it never fails
+them. :meth:`ScoreStore.probe_backend` re-checks the backend and
+rejoins the persistent tier when the service recovers.
 """
 
 from __future__ import annotations
 
+import logging
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -38,11 +47,14 @@ from typing import Callable, Optional, Union
 
 from ..backbones.base import ScoredEdges
 from .backends import (BackendCorruption, DirectoryBackend, EntryCorrupt,
-                       EntryEncodeError, GCPolicy, GCResult, NegativeEntry,
-                       RawEntry, SchemaMismatch, StoreBackend,
-                       decode_entry, encode_negative, encode_scored,
-                       open_backend, run_gc)
+                       EntryEncodeError, GCPolicy, GCResult,
+                       KVUnavailableError, NegativeEntry, RawEntry,
+                       SchemaMismatch, StoreBackend, decode_entry,
+                       encode_negative, encode_scored, open_backend,
+                       run_gc)
 from .fingerprint import _SCHEMA_VERSION
+
+logger = logging.getLogger(__name__)
 
 PathLike = Union[str, Path]
 
@@ -64,6 +76,11 @@ class CacheStats:
     corrupt: int = 0
     negative_hits: int = 0
     negative_puts: int = 0
+    #: Backend outages survived (terminal ``KVUnavailableError``s).
+    backend_failures: int = 0
+    #: True once the persistent tier has been dropped mid-flight and
+    #: the store is serving memory-only (see ``ScoreStore.degraded``).
+    degraded: bool = False
 
     @property
     def hits(self) -> int:
@@ -91,6 +108,8 @@ class CacheStats:
         self.corrupt += other.corrupt
         self.negative_hits += other.negative_hits
         self.negative_puts += other.negative_puts
+        self.backend_failures += other.backend_failures
+        self.degraded = self.degraded or other.degraded
 
     def summary(self) -> str:
         """One-line human-readable account."""
@@ -101,6 +120,9 @@ class CacheStats:
         if self.negative_hits or self.negative_puts:
             text += (f", {self.negative_hits} negative hits "
                      f"({self.negative_puts} recorded)")
+        if self.degraded:
+            text += (f", DEGRADED (memory-only; "
+                     f"{self.backend_failures} backend failures)")
         return text
 
 
@@ -138,6 +160,57 @@ class ScoreStore:
         self.stats = CacheStats()
         self._memory: "OrderedDict[str, object]" = OrderedDict()
         self._sources: dict = {}
+        self._degraded = False
+
+    # ------------------------------------------------------------------
+    # Degradation (cache outages must never fail a scoring request)
+    # ------------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True while the persistent tier is down and being bypassed.
+
+        A terminal :class:`~repro.pipeline.backends.KVUnavailableError`
+        from the backend (retries already exhausted client-side) flips
+        the store into memory-only mode: every later backend call is
+        skipped — no per-request retry storms against a dead service —
+        and scoring requests keep being answered from the in-process
+        tier plus recompute. :meth:`probe_backend` re-checks the
+        backend and clears the flag when the service is back.
+        """
+        return self._degraded
+
+    def probe_backend(self) -> bool:
+        """Re-check a degraded backend; clear the flag if it answers.
+
+        Returns ``True`` when the store has a working persistent tier
+        after the call. Safe to call on a healthy store (no-op).
+        """
+        if self.backend is None:
+            return False
+        if not self._degraded:
+            return True
+        try:
+            self.backend.contains("__repro_probe__")
+        except KVUnavailableError:
+            return False
+        self._degraded = False
+        self.stats.degraded = False
+        logger.warning("score-store backend answered a probe; leaving "
+                       "degraded mode")
+        return True
+
+    def _mark_degraded(self, error: Exception) -> None:
+        self.stats.backend_failures += 1
+        if not self._degraded:
+            self._degraded = True
+            self.stats.degraded = True
+            logger.warning(
+                "score-store backend unavailable (%s); degrading to "
+                "memory-only operation", error)
+
+    def _backend_usable(self) -> bool:
+        return self.backend is not None and not self._degraded
 
     # ------------------------------------------------------------------
     # Lookup / insert
@@ -197,8 +270,11 @@ class ScoreStore:
         entry the worker already produced).
         """
         self._remember(key, entry)
-        if self.backend is not None and not self.backend.contains(key):
-            self._write_backend(key, entry)
+        try:
+            if self._backend_usable() and not self.backend.contains(key):
+                self._write_backend(key, entry)
+        except KVUnavailableError as error:
+            self._mark_degraded(error)
 
     # ------------------------------------------------------------------
     # Source bindings (file fingerprint -> table fingerprint)
@@ -217,14 +293,17 @@ class ScoreStore:
         parsed table.
         """
         self._sources[source_key] = table_fingerprint
-        if self.backend is None:
+        if not self._backend_usable():
             return
         meta = {
             "schema": _SCHEMA_VERSION,
             "key": source_key,
             "source": {"table": table_fingerprint},
         }
-        self.backend.put(source_key, RawEntry(meta=meta, payload=None))
+        try:
+            self.backend.put(source_key, RawEntry(meta=meta, payload=None))
+        except KVUnavailableError as error:
+            self._mark_degraded(error)
 
     def resolve_source(self, source_key: str) -> Optional[str]:
         """Table fingerprint previously bound to ``source_key``, or
@@ -232,11 +311,14 @@ class ScoreStore:
         found = self._sources.get(source_key)
         if found is not None:
             return found
-        if self.backend is None:
+        if not self._backend_usable():
             return None
         try:
             raw = self.backend.get(source_key)
         except BackendCorruption:
+            return None
+        except KVUnavailableError as error:
+            self._mark_degraded(error)
             return None
         if raw is None or not isinstance(raw.meta, dict) \
                 or raw.meta.get("schema") != _SCHEMA_VERSION:
@@ -261,17 +343,32 @@ class ScoreStore:
 
     def worker_spec(self) -> Optional[str]:
         """Backend spec a worker process can reopen, or ``None`` when
-        the persistent tier is absent or process-local."""
-        return None if self.backend is None else self.backend.spec()
+        the persistent tier is absent, process-local or degraded (a
+        worker must not retry a backend the parent already gave up
+        on — it ships results back instead)."""
+        if not self._backend_usable():
+            return None
+        return self.backend.spec()
 
     def __contains__(self, key: str) -> bool:
         if key in self._memory:
             return True
-        return self.backend is not None and self.backend.contains(key)
+        if not self._backend_usable():
+            return False
+        try:
+            return self.backend.contains(key)
+        except KVUnavailableError as error:
+            self._mark_degraded(error)
+            return False
 
     def __len__(self) -> int:
-        persistent_keys = () if self.backend is None \
-            else set(self.backend.keys())
+        persistent_keys = ()
+        if self._backend_usable():
+            try:
+                persistent_keys = set(self.backend.keys())
+            except KVUnavailableError as error:
+                self._mark_degraded(error)
+                persistent_keys = ()
         memory_only = sum(1 for key in self._memory
                           if key not in persistent_keys)
         return len(persistent_keys) + memory_only
@@ -353,7 +450,7 @@ class ScoreStore:
         return self.backend._paths(key)
 
     def _write_backend(self, key: str, entry) -> None:
-        if self.backend is None:
+        if not self._backend_usable():
             return
         try:
             if isinstance(entry, NegativeEntry):
@@ -364,15 +461,21 @@ class ScoreStore:
             # Non-JSON-serializable method info: keep the entry purely
             # in-memory rather than persisting something unreadable.
             return
-        self.backend.put(key, raw)
+        try:
+            self.backend.put(key, raw)
+        except KVUnavailableError as error:
+            self._mark_degraded(error)
 
     def _load_backend(self, key: str):
-        if self.backend is None:
+        if not self._backend_usable():
             return None
         try:
             raw = self.backend.get(key)
         except BackendCorruption:
             self.stats.corrupt += 1
+            return None
+        except KVUnavailableError as error:
+            self._mark_degraded(error)
             return None
         if raw is None:
             return None

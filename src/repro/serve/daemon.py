@@ -1,0 +1,494 @@
+"""The long-lived backbone daemon: warm store, batching, resilience.
+
+:class:`BackboneDaemon` is a stdlib-only HTTP service
+(``http.server.ThreadingHTTPServer``) that accepts Plan JSON artifacts
+(:meth:`repro.flow.Plan.to_json` — the wire format since PR 5) and
+answers with extracted backbones and metrics. What makes it a *daemon*
+rather than a script is what it keeps warm and what it survives:
+
+* **Warm state.** One :class:`~repro.pipeline.store.ScoreStore` and
+  one ``workers=`` preference live across requests, so the second
+  client to ask for a scored table gets it from cache, whichever
+  client paid for it.
+* **Admission window.** Requests arriving within ``batch_window``
+  seconds are coalesced into a single
+  :func:`~repro.serve.engine.serve_isolated` batch, which dedupes
+  source parsing and scoring *across clients*: eight clients asking
+  for eight NC deltas over one file trigger exactly one scoring pass.
+* **Deadlines.** Every request carries a deadline (client-supplied or
+  the daemon default). A request whose deadline passes while queued is
+  cancelled without being served; one that expires mid-batch returns a
+  structured timeout to its client while the batch completes and warms
+  the store for the retry. The daemon stays healthy either way.
+* **Degradation, not collapse.** Per-plan failures come back as
+  structured errors for that plan only (see
+  :mod:`repro.serve.engine`); a cache-backend outage flips the store
+  to memory-only recompute and the response carries a ``degraded``
+  flag; a worker process dying mid-batch is retried serially by the
+  pool layer. A batch-level surprise marks every affected request
+  failed and the daemon keeps serving.
+* **Slow clients.** Handler sockets carry a read timeout, so a client
+  that stalls mid-request occupies one handler thread for at most
+  ``request_timeout`` seconds, not forever.
+
+Wire protocol (JSON over HTTP; all paths under ``/v1``):
+
+``POST /v1/run``
+    ``{"plans": [<plan artifact>, ...], "deadline": 5.0,
+    "return_edges": false}`` → ``{"protocol": 1, "results": [...],
+    "degraded": false, "batch": {"plans": N, "clients": K}}``; each
+    result is ``{"ok": true, cache_key, kept_share, metrics,
+    backbone: {m, n_nodes}[, edges]}`` or ``{"ok": false, "error":
+    {"type", "message"}}``, aligned with the request's plan list.
+``GET /v1/status``
+    Uptime, request/batch/coalescing counters, store stats, config.
+``POST /v1/shutdown``
+    Acknowledges, then stops the daemon gracefully.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Sequence
+
+from ..flow.plan import Plan
+from ..flow.serve import FlowResult
+from ..pipeline.store import PathLike, ScoreStore
+from .engine import serve_isolated
+
+logger = logging.getLogger(__name__)
+
+#: Wire protocol version stamped into every response.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on request body size (a plan artifact is a few hundred
+#: bytes; anything near this is a confused or hostile client).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+class DeadlineExceeded(RuntimeError):
+    """A request's deadline passed before its results were ready."""
+
+
+@dataclass
+class DaemonStats:
+    """Counters over one daemon lifetime (all mutated under the
+    daemon's condition lock except ``started``)."""
+
+    started: float = field(default_factory=time.time)
+    requests: int = 0          # POST /v1/run calls admitted
+    plans: int = 0             # plan slots served (errors included)
+    plan_errors: int = 0       # slots answered with a structured error
+    batches: int = 0           # serve_isolated executions
+    coalesced_batches: int = 0  # batches that merged >= 2 requests
+    cancelled: int = 0         # tickets dropped with an expired deadline
+    deadline_misses: int = 0   # clients that timed out waiting
+    batch_failures: int = 0    # whole-batch surprises survived
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "uptime_s": max(0.0, time.time() - self.started),
+            "requests": self.requests, "plans": self.plans,
+            "plan_errors": self.plan_errors, "batches": self.batches,
+            "coalesced_batches": self.coalesced_batches,
+            "cancelled": self.cancelled,
+            "deadline_misses": self.deadline_misses,
+            "batch_failures": self.batch_failures,
+        }
+
+
+class _Ticket:
+    """One client request waiting for its slice of a batch."""
+
+    __slots__ = ("plans", "deadline", "event", "results", "batch")
+
+    def __init__(self, plans: List[Plan], deadline: float):
+        self.plans = plans
+        self.deadline = deadline  # absolute, time.monotonic() scale
+        self.event = threading.Event()
+        self.results: Optional[List[FlowResult]] = None
+        self.batch: Dict[str, int] = {}
+
+
+class BackboneDaemon:
+    """See the module docstring.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    store, cache_dir:
+        The warm :class:`ScoreStore` (or a backend location to open
+        one over). Defaults to a fresh memory-only store.
+    workers:
+        Process fan-out for cold scoring, as everywhere else.
+    batch_window:
+        Admission window in seconds: how long a batch waits for
+        fellow-traveler requests before executing.
+    default_deadline:
+        Request deadline applied when the client sends none.
+    request_timeout:
+        Socket read timeout per request — the slow-client bound.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 store: Optional[ScoreStore] = None,
+                 cache_dir: Optional[PathLike] = None,
+                 workers: Optional[int] = None,
+                 batch_window: float = 0.05,
+                 default_deadline: float = 30.0,
+                 request_timeout: float = 10.0):
+        if store is not None and cache_dir is not None:
+            raise ValueError("pass either store or cache_dir, not both")
+        if store is None:
+            store = ScoreStore(cache_dir)
+        self.store = store
+        self.workers = workers
+        self.batch_window = float(batch_window)
+        self.default_deadline = float(default_deadline)
+        self.request_timeout = float(request_timeout)
+        self.stats = DaemonStats()
+        self._host, self._port = host, int(port)
+        self._cond = threading.Condition()
+        self._pending: List[_Ticket] = []
+        self._stopping = False
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._threads: List[threading.Thread] = []
+        self._stopped = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`)."""
+        if self._server is not None:
+            return self._server.server_address[1]
+        return self._port
+
+    def start(self) -> "BackboneDaemon":
+        """Bind the socket and start the server + batcher threads."""
+        if self._server is not None:
+            raise RuntimeError("daemon already started")
+        handler = _make_handler(self)
+        self._server = ThreadingHTTPServer((self._host, self._port),
+                                           handler)
+        self._server.daemon_threads = True
+        self._stopping = False
+        self._stopped.clear()
+        self._threads = [
+            threading.Thread(target=self._server.serve_forever,
+                             name="repro-serve-http", daemon=True),
+            threading.Thread(target=self._batch_loop,
+                             name="repro-serve-batcher", daemon=True),
+        ]
+        for thread in self._threads:
+            thread.start()
+        logger.info("backbone daemon listening on %s:%d",
+                    self._host, self.port)
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting requests, flush the queue, release the port."""
+        server, self._server = self._server, None
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        for thread in self._threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=5.0)
+        self._threads = []
+        self._stopped.set()
+
+    def run_forever(self) -> None:
+        """Block until the daemon is stopped (signal or /v1/shutdown)."""
+        if self._server is None:
+            self.start()
+        try:
+            self._stopped.wait()
+        except KeyboardInterrupt:
+            self.stop()
+
+    def __enter__(self) -> "BackboneDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Request admission / batching
+    # ------------------------------------------------------------------
+
+    def submit(self, plans: Sequence[Plan],
+               deadline: Optional[float] = None) -> List[FlowResult]:
+        """Admit one request's plans; block until served or deadline.
+
+        Raises :class:`DeadlineExceeded` when the deadline passes
+        first — the batch keeps running and warms the store, so a
+        retry is cheap; the daemon is unaffected.
+        """
+        return self._await(self._admit(plans, deadline))
+
+    def _admit(self, plans: Sequence[Plan],
+               deadline: Optional[float]) -> _Ticket:
+        budget = self.default_deadline if deadline is None \
+            else float(deadline)
+        budget = max(0.0, budget)
+        ticket = _Ticket(list(plans), time.monotonic() + budget)
+        with self._cond:
+            if self._stopping:
+                raise RuntimeError("daemon is shutting down")
+            self.stats.requests += 1
+            self._pending.append(ticket)
+            self._cond.notify_all()
+        return ticket
+
+    def _await(self, ticket: _Ticket) -> List[FlowResult]:
+        budget = max(0.0, ticket.deadline - time.monotonic())
+        if not ticket.event.wait(timeout=budget):
+            with self._cond:
+                self.stats.deadline_misses += 1
+            raise DeadlineExceeded(
+                "request missed its deadline; the batch continues in "
+                "the background and warms the cache for a retry")
+        if ticket.results is None:  # cancelled while queued
+            raise DeadlineExceeded(
+                "request deadline expired before its batch started")
+        return ticket.results
+
+    def _batch_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._stopping:
+                    self._cond.wait()
+                if not self._pending and self._stopping:
+                    return
+            # Admission window: let same-window requests pile in.
+            if self.batch_window > 0 and not self._stopping:
+                time.sleep(self.batch_window)
+            with self._cond:
+                tickets, self._pending = self._pending, []
+            if tickets:
+                self._execute(tickets)
+
+    def _execute(self, tickets: List[_Ticket]) -> None:
+        now = time.monotonic()
+        live: List[_Ticket] = []
+        for ticket in tickets:
+            if ticket.deadline <= now:
+                # Cancelled: its plans are never served.
+                with self._cond:
+                    self.stats.cancelled += 1
+                ticket.event.set()
+            else:
+                live.append(ticket)
+        if not live:
+            return
+        plans = [plan for ticket in live for plan in ticket.plans]
+        batch_info = {"plans": len(plans), "clients": len(live)}
+        try:
+            results = serve_isolated(plans, store=self.store,
+                                     workers=self.workers)
+        except Exception:
+            # serve_isolated isolates per plan; reaching here means a
+            # genuine engine bug. Fail these requests, not the daemon.
+            logger.exception("batch execution failed; failing %d "
+                             "requests and continuing", len(live))
+            with self._cond:
+                self.stats.batch_failures += 1
+            results = None
+        with self._cond:
+            self.stats.batches += 1
+            if len(live) > 1:
+                self.stats.coalesced_batches += 1
+            self.stats.plans += len(plans)
+        cursor = 0
+        for ticket in live:
+            count = len(ticket.plans)
+            if results is None:
+                ticket.results = [
+                    FlowResult(plan=plan, cache_key="",
+                               error=RuntimeError("internal batch "
+                                                  "failure"))
+                    for plan in ticket.plans]
+            else:
+                ticket.results = results[cursor:cursor + count]
+            cursor += count
+            ticket.batch = batch_info
+            with self._cond:
+                self.stats.plan_errors += sum(
+                    1 for result in ticket.results if not result.ok)
+            ticket.event.set()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        """The ``GET /v1/status`` payload."""
+        stats = self.store.stats
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "daemon": self.stats.payload(),
+            "degraded": self.store.degraded,
+            "store": {
+                "summary": stats.summary(),
+                "hits": stats.hits, "misses": stats.misses,
+                "puts": stats.puts,
+                "negative_hits": stats.negative_hits,
+                "backend_failures": stats.backend_failures,
+            },
+            "config": {
+                "workers": self.workers,
+                "batch_window_s": self.batch_window,
+                "default_deadline_s": self.default_deadline,
+                "request_timeout_s": self.request_timeout,
+                "backend": (None if self.store.backend is None
+                            else self.store.backend.describe()),
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+
+def result_payload(result: FlowResult,
+                   return_edges: bool = False) -> Dict[str, object]:
+    """JSON-safe encoding of one :class:`FlowResult`."""
+    if not result.ok:
+        return {"ok": False,
+                "error": {"type": type(result.error).__name__,
+                          "message": str(result.error)}}
+    backbone = result.backbone
+    payload: Dict[str, object] = {
+        "ok": True,
+        "cache_key": result.cache_key,
+        "kept_share": result.kept_share,
+        "metrics": result.metrics,
+        "backbone": {"m": backbone.m, "n_nodes": backbone.n_nodes},
+    }
+    if return_edges:
+        payload["edges"] = [
+            [backbone.label_of(u), backbone.label_of(v), float(w)]
+            for u, v, w in backbone.iter_edges()]
+    return payload
+
+
+def _make_handler(daemon: BackboneDaemon):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        timeout = daemon.request_timeout  # slow-client read bound
+
+        # -- plumbing --------------------------------------------------
+
+        def log_message(self, format, *args):  # noqa: A002 (stdlib name)
+            logger.debug("%s %s", self.address_string(), format % args)
+
+        def _reply(self, status: int, payload: Dict[str, object]) -> None:
+            body = json.dumps(payload).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _fail(self, status: int, kind: str, message: str) -> None:
+            self._reply(status, {"protocol": PROTOCOL_VERSION,
+                                 "error": {"type": kind,
+                                           "message": message}})
+
+        # -- routes ----------------------------------------------------
+
+        def do_GET(self):
+            if self.path in ("/v1/status", "/status"):
+                self._reply(200, daemon.status())
+            elif self.path == "/healthz":
+                self._reply(200, {"ok": True})
+            else:
+                self._fail(404, "NotFound", f"unknown path {self.path}")
+
+        def do_POST(self):
+            if self.path in ("/v1/shutdown", "/shutdown"):
+                self._reply(200, {"ok": True, "stopping": True})
+                # stop() joins threads; run it off this handler thread.
+                threading.Thread(target=daemon.stop, daemon=True).start()
+                return
+            if self.path not in ("/v1/run", "/run"):
+                self._fail(404, "NotFound", f"unknown path {self.path}")
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+            except ValueError:
+                length = -1
+            if not 0 < length <= MAX_BODY_BYTES:
+                self._fail(400, "BadRequest",
+                           "missing, malformed or oversized body")
+                return
+            try:
+                body = json.loads(self.rfile.read(length))
+            except (ValueError, UnicodeDecodeError) as error:
+                self._fail(400, "BadRequest",
+                           f"body is not valid JSON: {error}")
+                return
+            if not isinstance(body, dict) \
+                    or not isinstance(body.get("plans"), list) \
+                    or not body["plans"]:
+                self._fail(400, "BadRequest",
+                           'body must be {"plans": [<plan>, ...], ...}')
+                return
+            try:
+                deadline = None if body.get("deadline") is None \
+                    else float(body["deadline"])
+            except (TypeError, ValueError):
+                self._fail(400, "BadRequest", "deadline must be a number")
+                return
+
+            # Per-plan parse isolation: a malformed artifact fails its
+            # slot; well-formed fellow plans are still served.
+            slots: List[Optional[Dict[str, object]]] = []
+            plans: List[Plan] = []
+            for item in body["plans"]:
+                try:
+                    plans.append(Plan.from_json(json.dumps(item)))
+                    slots.append(None)
+                except Exception as error:
+                    slots.append({"ok": False,
+                                  "error": {"type": type(error).__name__,
+                                            "message": str(error)}})
+            batch: Dict[str, int] = {"plans": 0, "clients": 0}
+            results: List[FlowResult] = []
+            if plans:
+                try:
+                    ticket = daemon._admit(plans, deadline)
+                    results = daemon._await(ticket)
+                    batch = ticket.batch
+                except DeadlineExceeded as error:
+                    self._fail(504, "DeadlineExceeded", str(error))
+                    return
+                except RuntimeError as error:
+                    self._fail(503, "Unavailable", str(error))
+                    return
+            return_edges = bool(body.get("return_edges", False))
+            encoded = iter([result_payload(result, return_edges)
+                            for result in results])
+            payload = [slot if slot is not None else next(encoded)
+                       for slot in slots]
+            self._reply(200, {
+                "protocol": PROTOCOL_VERSION,
+                "results": payload,
+                "degraded": daemon.store.degraded,
+                "batch": batch,
+            })
+
+    return Handler

@@ -1,0 +1,216 @@
+"""Deterministic chaos: injectable faults for every degradation path.
+
+The resilience claims of :mod:`repro.serve` are only worth what their
+tests can prove, so every failure mode the daemon degrades around has
+an injectable, *deterministic* stand-in here:
+
+* :class:`FlakyBackend` wraps any
+  :class:`~repro.pipeline.backends.StoreBackend` and raises queued
+  transport faults (or a permanent outage) from its operations —
+  the store-degradation path (``ScoreStore.degraded``) becomes a unit
+  test instead of an incident. It mirrors the semantics of
+  :meth:`~repro.pipeline.backends.InMemoryKVServer.inject_faults`:
+  queued faults fire once each, on any operation, in order.
+* :class:`ChaosMethod` wraps any backbone method and runs picklable
+  hooks before scoring: :class:`Sleep` (slow scoring → deadline
+  expiry), :class:`RaiseOnce` (a per-plan scoring failure),
+  :class:`KillWorkerOnce` (``os._exit`` inside a worker process → the
+  pool's serial-retry path). The *Once* hooks coordinate through a
+  flag file so they fire exactly once across processes — the retry
+  must succeed, in whatever process it runs.
+
+Nothing here sleeps or kills unless explicitly configured; importing
+the module is free of side effects.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..backbones.base import BackboneMethod, ScoredEdges
+from ..graph.edge_table import EdgeTable
+from ..pipeline.backends import (EntryInfo, KVUnavailableError, RawEntry,
+                                 StoreBackend)
+from ..pipeline.fingerprint import fingerprint_method
+
+
+class ChaosFailure(RuntimeError):
+    """The failure a :class:`RaiseOnce` hook injects."""
+
+
+# ----------------------------------------------------------------------
+# Backend chaos
+# ----------------------------------------------------------------------
+
+class FlakyBackend(StoreBackend):
+    """A backend whose faults are scripted by the test.
+
+    Wraps an inner backend; :meth:`inject` queues exceptions that are
+    raised (one per operation, in order) before the operation reaches
+    the inner backend, and :meth:`outage` switches every operation to
+    raising :class:`~repro.pipeline.backends.KVUnavailableError` until
+    :meth:`restore` is called. ``latency`` seconds of real sleep per
+    operation simulate a slow store.
+    """
+
+    scheme = "chaos"
+
+    def __init__(self, inner: StoreBackend, latency: float = 0.0,
+                 sleep=time.sleep):
+        self.inner = inner
+        self.latency = float(latency)
+        self.calls: List[str] = []
+        self._sleep = sleep
+        self._fault_queue: List[Exception] = []
+        self._outage: Optional[Exception] = None
+
+    def inject(self, *errors: Exception) -> None:
+        """Queue faults raised before the next operations, in order."""
+        self._fault_queue.extend(errors)
+
+    def outage(self, error: Optional[Exception] = None) -> None:
+        """Every operation fails until :meth:`restore` — a dead service."""
+        self._outage = error if error is not None \
+            else KVUnavailableError("injected permanent outage")
+
+    def restore(self) -> None:
+        """End a permanent outage."""
+        self._outage = None
+
+    def _enter(self, op: str) -> None:
+        self.calls.append(op)
+        if self.latency:
+            self._sleep(self.latency)
+        if self._outage is not None:
+            raise self._outage
+        if self._fault_queue:
+            raise self._fault_queue.pop(0)
+
+    # -- StoreBackend interface ----------------------------------------
+
+    def get(self, key: str, touch: bool = True) -> Optional[RawEntry]:
+        self._enter("get")
+        return self.inner.get(key, touch=touch)
+
+    def put(self, key: str, entry: RawEntry) -> None:
+        self._enter("put")
+        self.inner.put(key, entry)
+
+    def contains(self, key: str) -> bool:
+        self._enter("contains")
+        return self.inner.contains(key)
+
+    def delete(self, key: str) -> bool:
+        self._enter("delete")
+        return self.inner.delete(key)
+
+    def keys(self) -> List[str]:
+        self._enter("keys")
+        return self.inner.keys()
+
+    def entries(self) -> List[EntryInfo]:
+        self._enter("entries")
+        return self.inner.entries()
+
+    def spec(self) -> Optional[str]:
+        return None  # faults are process-local; workers ship results back
+
+    def describe(self) -> str:
+        return f"chaos({self.inner.describe()})"
+
+
+# ----------------------------------------------------------------------
+# Scoring chaos
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Sleep:
+    """Hook: slow scoring down by ``seconds`` (deadline-expiry tests)."""
+
+    seconds: float
+
+    def __call__(self) -> None:
+        time.sleep(self.seconds)
+
+
+@dataclass(frozen=True)
+class RaiseOnce:
+    """Hook: raise :class:`ChaosFailure` the first time it fires.
+
+    ``flag_path`` names a file used as the cross-process "already
+    fired" marker, so a retried computation succeeds wherever it runs.
+    """
+
+    flag_path: str
+    message: str = "injected scoring failure"
+
+    def __call__(self) -> None:
+        if _trip(self.flag_path):
+            raise ChaosFailure(self.message)
+
+
+@dataclass(frozen=True)
+class KillWorkerOnce:
+    """Hook: hard-kill the hosting process the first time it fires.
+
+    ``os._exit`` skips every handler — exactly what a SIGKILLed or
+    OOM-killed worker looks like to the pool. The flag file guarantees
+    the serial retry (parent process or replacement worker) proceeds.
+    """
+
+    flag_path: str
+    exit_code: int = 13
+
+    def __call__(self) -> None:
+        if _trip(self.flag_path):
+            os._exit(self.exit_code)
+
+
+def _trip(flag_path: str) -> bool:
+    """Atomically create ``flag_path``; True when this call created it."""
+    try:
+        fd = os.open(flag_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+class ChaosMethod(BackboneMethod):
+    """A backbone method whose scoring runs fault hooks first.
+
+    Wraps a real method; scores (and extraction, budgets, metadata)
+    are the inner method's, so once the hooks have fired the results
+    are bit-identical to the unwrapped method. Picklable as long as
+    the inner method and hooks are, which every shipped hook is.
+    """
+
+    def __init__(self, inner: BackboneMethod, hooks=()):
+        self._inner = inner
+        self._hooks = tuple(hooks)
+        # Public (non-underscore) attributes land in the method config
+        # the cache fingerprints, keeping distinct wrapped methods on
+        # distinct score-cache keys.
+        self.name = f"chaos({inner.name})"
+        self.code = inner.code
+        self.parameter_free = inner.parameter_free
+        self.extraction_only_params = tuple(inner.extraction_only_params)
+        self.wraps = fingerprint_method(inner)
+
+    @property
+    def inner(self) -> BackboneMethod:
+        return self._inner
+
+    def score(self, table: EdgeTable) -> ScoredEdges:
+        for hook in self._hooks:
+            hook()
+        return self._inner.score(table)
+
+    def extract_from_scores(self, scored: ScoredEdges, **budget):
+        return self._inner.extract_from_scores(scored, **budget)
+
+    def default_budget(self):
+        return self._inner.default_budget()

@@ -4,22 +4,52 @@ Heavy root-parallel work (one shortest-path tree per root in the
 High-Salience Skeleton) splits naturally into independent chunks. This
 module is the single home of the ``workers=`` knob: callers hand over a
 picklable chunk function and a list of chunk payloads, and either get a
-plain serial map (``workers`` unset, zero or one) or a
-``multiprocessing`` pool map.
+plain serial map (``workers`` unset, zero or one) or a process-pool map.
 
 The pool uses the ``fork`` start method when the platform offers it, so
 read-only numpy arrays bound into the chunk function are shared
 copy-on-write instead of being re-pickled into every worker.
+
+Worker-pool *infrastructure* failures — a worker process killed by the
+OS (OOM, signal), a task that cannot cross the process boundary — are
+distinct from the chunk function raising: the chunk function's own
+exceptions propagate unchanged, while pool failures surface as a typed
+:class:`WorkerPoolError` carrying the ids (input indices) of the tasks
+whose results were lost. Callers that must survive worker death pass
+``retry_serial=True`` and the lost tasks are transparently re-run in
+the parent process instead — the documented degradation path the serve
+daemon and the sweep executor rely on.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, \
+    TypeVar
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+
+class WorkerPoolError(RuntimeError):
+    """The worker pool itself failed (dead worker, unpicklable task).
+
+    ``failed`` holds the input indices (task ids) whose results were
+    lost; completed tasks' results are gone with the call. ``cause`` is
+    the underlying pool exception (``BrokenProcessPool``, a pickling
+    error). Raised only for infrastructure faults — exceptions raised
+    *by* the mapped function propagate as themselves.
+    """
+
+    def __init__(self, message: str, failed: Sequence[int] = (),
+                 cause: Optional[BaseException] = None):
+        super().__init__(message)
+        self.failed: Tuple[int, ...] = tuple(failed)
+        self.cause = cause
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -39,21 +69,79 @@ def resolve_workers(workers: Optional[int]) -> int:
 
 
 def parallel_map(fn: Callable[[_T], _R], items: Iterable[_T],
-                 workers: Optional[int] = None) -> List[_R]:
+                 workers: Optional[int] = None,
+                 retry_serial: bool = False) -> List[_R]:
     """Map ``fn`` over ``items``, optionally across worker processes.
 
     Serial when :func:`resolve_workers` says so or there is at most one
-    item; otherwise a ``multiprocessing`` pool is used, which requires
-    ``fn`` and every item to be picklable. Result order matches item
-    order either way.
+    item; otherwise a process pool is used, which requires ``fn`` and
+    every item to be picklable. Result order matches item order either
+    way, and exceptions raised by ``fn`` propagate unchanged.
+
+    Pool *infrastructure* failures — a worker process dying mid-task
+    (``BrokenProcessPool``), a payload that fails to pickle — raise
+    :class:`WorkerPoolError` naming the lost task ids. With
+    ``retry_serial=True`` the lost tasks are re-run serially in the
+    parent process instead, so a crashed worker degrades to slower,
+    not broken: the returned list is complete and identical to a fully
+    serial run (``fn`` is deterministic for every caller in this
+    codebase).
     """
     items = list(items)
     count = min(resolve_workers(workers), len(items))
     if count <= 1:
         return [fn(item) for item in items]
-    ctx = _pool_context()
-    with ctx.Pool(processes=count) as pool:
-        return pool.map(fn, items)
+
+    results: List[Optional[_R]] = [None] * len(items)
+    failed: List[int] = []
+    cause: Optional[BaseException] = None
+    executor = ProcessPoolExecutor(max_workers=count,
+                                   mp_context=_pool_context())
+    try:
+        try:
+            futures = [executor.submit(fn, item) for item in items]
+        except (BrokenProcessPool, pickle.PicklingError) as error:
+            raise WorkerPoolError(
+                f"could not dispatch tasks to the worker pool: {error}",
+                failed=range(len(items)), cause=error) from error
+        fn_error: Optional[BaseException] = None
+        for index, future in enumerate(futures):
+            try:
+                results[index] = future.result()
+            except BaseException as error:
+                if _is_pool_failure(error):
+                    failed.append(index)
+                    cause = error
+                elif fn_error is None:  # fn's own exception
+                    fn_error = error
+        if fn_error is not None:
+            raise fn_error
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    if failed:
+        if not retry_serial:
+            raise WorkerPoolError(
+                f"worker pool lost {len(failed)} of {len(items)} tasks "
+                f"(ids {list(failed)}): {cause}; pass retry_serial=True "
+                "to re-run lost tasks serially in the parent process",
+                failed=failed, cause=cause)
+        for index in failed:
+            results[index] = fn(items[index])
+    return results
+
+
+def _is_pool_failure(error: BaseException) -> bool:
+    """Infrastructure fault (vs. the mapped function's own exception)?
+
+    ``BrokenProcessPool`` is a dead worker; pickling failures of the
+    payload surface as ``PicklingError`` or — from the feeder thread —
+    as ``AttributeError``/``TypeError`` whose message names pickling.
+    """
+    if isinstance(error, (BrokenProcessPool, pickle.PicklingError)):
+        return True
+    return isinstance(error, (AttributeError, TypeError)) \
+        and "pickle" in str(error).lower()
 
 
 def chunked(items: Sequence[_T], size: int) -> List[Sequence[_T]]:

@@ -30,6 +30,13 @@ class TestExamplesRun:
         assert "batched deltas" in out
         assert "plan.json round-trips" in out
 
+    def test_serve_daemon(self, capsys):
+        out = run_example("serve_daemon.py", capsys)
+        assert "scoring passes (store puts): 1" in out
+        assert "response degraded flag: True" in out
+        assert "good slot ok=True" in out
+        assert "shutdown acknowledged: True" in out
+
     def test_community_recovery(self, capsys):
         out = run_example("community_recovery.py", capsys)
         assert "NMI = 1.000" in out

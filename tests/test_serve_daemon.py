@@ -1,0 +1,311 @@
+"""The backbone daemon: protocol, coalescing, deadlines, lifecycle.
+
+Spins up real :class:`~repro.serve.BackboneDaemon` instances on
+ephemeral ports and talks to them over HTTP with
+:class:`~repro.serve.ServeClient` — the exact wire path production
+clients use. The headline acceptance test: N concurrent clients
+requesting N deltas over one source produce exactly one scoring pass,
+verified against the shared store's traffic counters.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.flow import flow
+from repro.graph.edge_table import EdgeTable
+from repro.graph.ingest import write_edges
+from repro.pipeline.store import ScoreStore
+from repro.serve import (BackboneDaemon, DeadlineExceeded, ServeClient,
+                         ServeError, serve_isolated)
+from repro.serve.client import collect_results
+from repro.serve.faults import ChaosMethod, Sleep
+
+
+def random_table(seed=0, n_nodes=24, n_edges=90):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n_nodes, n_edges)
+    dst = rng.integers(0, n_nodes, n_edges)
+    weight = rng.integers(1, 60, n_edges).astype(float)
+    return EdgeTable(src, dst, weight, n_nodes=n_nodes, directed=False)
+
+
+@pytest.fixture()
+def edges_csv(tmp_path):
+    path = tmp_path / "edges.csv"
+    write_edges(random_table(), path)
+    return path
+
+
+@pytest.fixture()
+def daemon():
+    with BackboneDaemon(port=0, batch_window=0.02) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(daemon):
+    return ServeClient(port=daemon.port)
+
+
+class TestProtocol:
+    def test_round_trip_matches_local_run(self, edges_csv, client):
+        plan = flow(str(edges_csv)).method("NC", delta=1.5)
+        reply = client.run([plan.to_json()])
+        assert reply["protocol"] == 1
+        (result,) = collect_results(reply)
+        local = plan.run()
+        assert result["ok"]
+        assert result["backbone"]["m"] == local.backbone.m
+        assert result["kept_share"] == pytest.approx(local.kept_share)
+        assert result["cache_key"] == local.cache_key
+
+    def test_edges_round_trip_bit_identical(self, edges_csv, client):
+        plan = flow(str(edges_csv)).method("DF").budget(share=0.2)
+        reply = client.run([plan.to_json()], return_edges=True)
+        (result,) = reply["results"]
+        local = plan.run().backbone
+        served = {(u, v): w for u, v, w in result["edges"]}
+        expected = {(local.label_of(u), local.label_of(v)): w
+                    for u, v, w in local.iter_edges()}
+        assert served == expected
+
+    def test_accepts_decoded_artifact_dicts(self, edges_csv, client):
+        plan = flow(str(edges_csv)).method("NT").budget(share=0.3)
+        reply = client.run([json.loads(plan.to_json())])
+        assert reply["results"][0]["ok"]
+
+    def test_malformed_plan_fails_its_slot_only(self, edges_csv, client):
+        good = flow(str(edges_csv)).method("NC", delta=1.0)
+        reply = client.run([{"garbage": True}, good.to_json()])
+        bad_slot, good_slot = reply["results"]
+        assert not bad_slot["ok"]
+        assert bad_slot["error"]["type"]
+        assert good_slot["ok"]
+
+    def test_unreadable_source_fails_its_plans_only(self, edges_csv,
+                                                    client):
+        missing = flow("/nonexistent/edges.csv").method("NC")
+        good = flow(str(edges_csv)).method("NC")
+        reply = client.run([missing.to_json(), good.to_json()])
+        assert not reply["results"][0]["ok"]
+        assert reply["results"][1]["ok"]
+
+    def test_bad_requests_are_400(self, client):
+        for body in (None, [], {"plans": []}, {"plans": "nope"}):
+            with pytest.raises(ServeError) as info:
+                client._call("POST", "/v1/run", body)
+            assert info.value.status == 400
+
+    def test_unknown_path_is_404(self, client):
+        with pytest.raises(ServeError) as info:
+            client._call("GET", "/v1/nope")
+        assert info.value.status == 404
+
+    def test_healthz(self, client):
+        assert client.healthy()
+
+    def test_status_counts_requests(self, edges_csv, client):
+        plan = flow(str(edges_csv)).method("NT").budget(share=0.3)
+        client.run([plan.to_json()])
+        status = client.status()
+        assert status["daemon"]["requests"] == 1
+        assert status["daemon"]["plans"] == 1
+        assert status["daemon"]["batches"] >= 1
+        assert not status["degraded"]
+        assert status["config"]["batch_window_s"] == pytest.approx(0.02)
+
+
+class TestCoalescing:
+    def test_concurrent_clients_share_one_scoring_pass(self, edges_csv):
+        store = ScoreStore()
+        deltas = [0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2]
+        with BackboneDaemon(port=0, store=store,
+                            batch_window=0.25) as daemon:
+            client = ServeClient(port=daemon.port)
+            replies = [None] * len(deltas)
+
+            def one(index, delta):
+                plan = flow(str(edges_csv)).method("NC", delta=delta)
+                replies[index] = client.run([plan.to_json()])
+
+            threads = [threading.Thread(target=one, args=(i, d))
+                       for i, d in enumerate(deltas)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert all(r["results"][0]["ok"] for r in replies)
+        # NC's delta is extraction-only: every client shares one cache
+        # key, so the warm store saw exactly one scoring pass.
+        assert store.stats.puts == 1, store.stats.summary()
+        assert store.stats.misses == 1
+        coalesced = {json.dumps(r["batch"], sort_keys=True)
+                     for r in replies}
+        assert any(json.loads(b)["clients"] >= 2 for b in coalesced), \
+            "at least some requests must have shared a batch"
+        # Distinct deltas must still yield their own extractions.
+        kept = {r["results"][0]["backbone"]["m"] for r in replies}
+        assert len(kept) > 1
+
+    def test_store_stays_warm_across_requests(self, edges_csv, daemon):
+        client = ServeClient(port=daemon.port)
+        plan = flow(str(edges_csv)).method("NC", delta=1.5)
+        client.run([plan.to_json()])
+        client.run([plan.to_json()])
+        status = client.status()
+        assert status["store"]["hits"] >= 1
+        assert status["store"]["puts"] == 1
+
+
+class TestDeadlines:
+    def test_deadline_expiry_is_504_and_daemon_survives(self, edges_csv):
+        table = random_table(3)
+        inner = flow(table).method("NT").method_spec.build()
+        slow = ChaosMethod(inner, hooks=[Sleep(1.2)])
+        with BackboneDaemon(port=0, batch_window=0.01,
+                            default_deadline=0.15) as daemon:
+            with pytest.raises(DeadlineExceeded):
+                daemon.submit([flow(table).method(slow).budget(share=0.5)])
+            # The daemon is still healthy and serving.
+            client = ServeClient(port=daemon.port)
+            assert client.healthy()
+            fast = flow(str(edges_csv)).method("NT").budget(share=0.3)
+            # deadline=5: the slow batch is still draining, so the
+            # default 0.15s would be head-of-line blocked away.
+            reply = client.run([fast.to_json()], deadline=5.0)
+            assert reply["results"][0]["ok"]
+            assert client.status()["daemon"]["deadline_misses"] == 1
+
+    def test_expired_batch_still_warms_the_store(self):
+        table = random_table(4)
+        store = ScoreStore()
+        inner = flow(table).method("NT").method_spec.build()
+        slow = ChaosMethod(inner, hooks=[Sleep(0.6)])
+        with BackboneDaemon(port=0, store=store, batch_window=0.01,
+                            default_deadline=0.1) as daemon:
+            plan = flow(table).method(slow).budget(share=0.5)
+            with pytest.raises(DeadlineExceeded):
+                daemon.submit([plan])
+            # The batch keeps running after the client gave up ...
+            deadline = threading.Event()
+            for _ in range(100):
+                if store.stats.puts:
+                    break
+                deadline.wait(0.05)
+            assert store.stats.puts == 1
+            # ... so the retry is served from cache, instantly.
+            retry = daemon.submit([plan], deadline=5.0)
+            assert retry[0].ok
+        assert store.stats.hits >= 1
+
+    def test_queued_ticket_cancelled_after_deadline(self, edges_csv):
+        with BackboneDaemon(port=0, batch_window=0.3,
+                            default_deadline=0.01) as daemon:
+            plan = flow(str(edges_csv)).method("NT") \
+                .budget(share=0.3)
+            with pytest.raises(DeadlineExceeded):
+                daemon.submit([plan])
+            for _ in range(100):
+                stats = daemon.stats
+                if stats.cancelled or stats.batches:
+                    break
+                threading.Event().wait(0.02)
+            assert daemon.stats.cancelled == 1, \
+                "an expired queued ticket must be dropped, not served"
+
+
+class TestLifecycle:
+    def test_shutdown_via_http(self, edges_csv):
+        daemon = BackboneDaemon(port=0, batch_window=0.01).start()
+        client = ServeClient(port=daemon.port)
+        assert client.shutdown()
+        daemon._stopped.wait(timeout=5.0)
+        assert not client.healthy()
+
+    def test_submit_after_stop_is_rejected(self, edges_csv):
+        daemon = BackboneDaemon(port=0).start()
+        daemon.stop()
+        with pytest.raises(RuntimeError, match="shutting down"):
+            daemon.submit([flow(str(edges_csv)).method("NT")
+                           .budget(share=0.3)])
+
+    def test_context_manager_releases_port(self):
+        with BackboneDaemon(port=0) as first:
+            port = first.port
+        # Reusing the exact port must work once released.
+        with BackboneDaemon(port=port) as second:
+            assert ServeClient(port=second.port).healthy()
+
+    def test_store_and_cache_dir_are_exclusive(self):
+        with pytest.raises(ValueError):
+            BackboneDaemon(store=ScoreStore(), cache_dir="/tmp/x")
+
+
+class TestServeIsolatedEngine:
+    def test_non_plan_objects_fail_their_slot(self, edges_csv):
+        good = flow(str(edges_csv)).method("NT").budget(share=0.3)
+        results = serve_isolated(["not a plan", good])
+        assert not results[0].ok
+        assert isinstance(results[0].error, TypeError)
+        assert results[1].ok
+
+    def test_plan_without_method_fails_its_slot(self, edges_csv):
+        results = serve_isolated([
+            flow(str(edges_csv)),
+            flow(str(edges_csv)).method("NT").budget(share=0.3)])
+        assert not results[0].ok
+        assert results[1].ok
+
+    def test_unknown_method_code_fails_per_plan(self, edges_csv):
+        from repro.flow.plan import Plan
+        good = flow(str(edges_csv)).method("NT").budget(share=0.3)
+        artifact = json.loads(good.to_json())
+        artifact["method"]["code"] = "NOPE"
+        with pytest.raises(Exception):
+            Plan.from_json(json.dumps(artifact))
+
+    def test_source_sharing_survives_isolation(self, edges_csv):
+        store = ScoreStore()
+        plans = [flow(str(edges_csv)).method("NC", delta=d)
+                 for d in (1.0, 1.5, 2.0)]
+        results = serve_isolated(plans + ["junk"], store=store)
+        assert [r.ok for r in results] == [True, True, True, False]
+        assert store.stats.puts == 1
+
+    def test_repro_serve_attribute_stays_callable(self, edges_csv):
+        # Importing the repro.serve subpackage rebinds the `serve`
+        # attribute on the repro package from the flow batch function
+        # to the module; both spellings must keep executing batches
+        # regardless of which import ran first.
+        import repro
+
+        plans = [flow(str(edges_csv)).method("NC", delta=d)
+                 for d in (1.0, 2.0)]
+        via_attr = repro.serve(plans)
+        local = [plan.run() for plan in plans]
+        assert [r.backbone.m for r in via_attr] \
+            == [r.backbone.m for r in local]
+
+
+class TestServeCLI:
+    def test_parser_accepts_serve_commands(self, capsys):
+        from repro.cli import build_parser
+        parser = build_parser()
+        args = parser.parse_args(["serve", "start", "--port", "0",
+                                  "--batch-window", "0.01",
+                                  "--deadline", "5"])
+        assert args.serve_command == "start"
+        assert args.batch_window == pytest.approx(0.01)
+        args = parser.parse_args(["serve", "status", "--port", "9"])
+        assert args.serve_command == "status"
+
+    def test_status_against_dead_port_fails_cleanly(self, capsys):
+        assert main(["serve", "status", "--port", "1"]) == 1
+        assert "no daemon" in capsys.readouterr().err
+
+    def test_shutdown_against_dead_port_fails_cleanly(self, capsys):
+        assert main(["serve", "shutdown", "--port", "1"]) == 1
