@@ -1,0 +1,166 @@
+"""Fail CI when a benchmark regresses badly against its committed
+baseline.
+
+Every benchmark module writes ``BENCH_<name>.json`` into the repo
+root (see ``benchmarks/conftest.py``); the committed copies are the
+performance record across sessions. This script compares the
+working-tree files (just refreshed by a bench run) against the
+committed baselines (``git show <ref>:BENCH_<name>.json``) and exits
+non-zero when any tracked metric moved outside the tolerance band.
+
+CI machines are noisy and differently sized, so the default band is
+wide (``--tolerance 3.0``: a metric may be up to 3x worse before the
+gate trips) — this is a tripwire for *large* regressions (an
+accidentally quadratic path, a lost cache, a disabled fast path), not
+a microbenchmark referee.
+
+Metric classification, by key name:
+
+- **lower is better** — keys ending in ``_s`` (wall-clock seconds:
+  latency percentiles, phase timings). Baselines under
+  ``MIN_SECONDS`` are skipped: timer noise dominates there.
+- **higher is better** — keys containing ``speedup`` or
+  ``throughput``, or ending in ``_rps``.
+- everything else (counts, sizes, flags) is ignored.
+
+Run:  python benchmarks/check_regressions.py [--tolerance 3.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Wall-clock baselines below this many seconds are pure timer noise;
+#: they are reported as skipped instead of gated.
+MIN_SECONDS = 0.005
+
+
+def classify(key: str) -> Optional[str]:
+    """``"lower"``, ``"higher"`` or ``None`` (untracked) for a key."""
+    if "speedup" in key or "throughput" in key or key.endswith("_rps"):
+        return "higher"
+    if key.endswith("_s"):
+        return "lower"
+    return None
+
+
+def compare_metrics(name: str, old: Dict[str, object],
+                    new: Dict[str, object],
+                    tolerance: float) -> Tuple[List[str], List[str]]:
+    """(regressions, skipped) between two ``metrics`` dicts.
+
+    Each regression line names the benchmark, the key, both values
+    and the allowed band; ``skipped`` records tracked keys that were
+    not gated (tiny baselines, missing counterparts, non-numbers).
+    """
+    regressions: List[str] = []
+    skipped: List[str] = []
+    for key in sorted(old):
+        direction = classify(key)
+        if direction is None:
+            continue
+        if key not in new:
+            skipped.append(f"{name}.{key}: missing from new run")
+            continue
+        old_value, new_value = old[key], new[key]
+        if not all(isinstance(v, (int, float))
+                   and not isinstance(v, bool)
+                   for v in (old_value, new_value)):
+            skipped.append(f"{name}.{key}: non-numeric")
+            continue
+        if direction == "lower":
+            if old_value < MIN_SECONDS:
+                skipped.append(f"{name}.{key}: baseline "
+                               f"{old_value:g}s below noise floor")
+                continue
+            if new_value > old_value * tolerance:
+                regressions.append(
+                    f"{name}.{key}: {new_value:g} vs baseline "
+                    f"{old_value:g} (allowed <= "
+                    f"{old_value * tolerance:g})")
+        else:
+            if old_value <= 0:
+                skipped.append(f"{name}.{key}: non-positive baseline")
+                continue
+            if new_value < old_value / tolerance:
+                regressions.append(
+                    f"{name}.{key}: {new_value:g} vs baseline "
+                    f"{old_value:g} (allowed >= "
+                    f"{old_value / tolerance:g})")
+    return regressions, skipped
+
+
+def committed_metrics(path: Path, ref: str) -> Optional[Dict[str, object]]:
+    """The ``metrics`` block of ``path`` at ``ref``, or ``None``."""
+    try:
+        shown = subprocess.run(
+            ["git", "show", f"{ref}:{path.name}"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True).stdout
+    except (subprocess.CalledProcessError, OSError):
+        return None  # new benchmark: no baseline yet
+    try:
+        return json.loads(shown).get("metrics", {})
+    except ValueError:
+        return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="gate benchmark results against committed "
+                    "baselines")
+    parser.add_argument("--tolerance", type=float, default=3.0,
+                        help="allowed worsening factor before the "
+                             "gate trips (default 3.0)")
+    parser.add_argument("--ref", default="HEAD",
+                        help="git ref holding the baselines "
+                             "(default HEAD)")
+    args = parser.parse_args(argv)
+    if args.tolerance < 1.0:
+        parser.error("tolerance must be >= 1.0")
+
+    regressions: List[str] = []
+    checked = 0
+    for path in sorted(REPO_ROOT.glob("BENCH_*.json")):
+        try:
+            current = json.loads(path.read_text()).get("metrics", {})
+        except (OSError, ValueError) as error:
+            print(f"warning: cannot read {path.name}: {error}")
+            continue
+        baseline = committed_metrics(path, args.ref)
+        if baseline is None:
+            print(f"{path.name}: no committed baseline at "
+                  f"{args.ref}; skipping")
+            continue
+        if current.get("failed") or baseline.get("failed"):
+            print(f"{path.name}: a run is marked failed; skipping")
+            continue
+        name = path.stem[len("BENCH_"):]
+        bad, skipped = compare_metrics(name, baseline, current,
+                                       args.tolerance)
+        regressions.extend(bad)
+        checked += 1
+        gated = sum(1 for key in baseline if classify(key))
+        print(f"{path.name}: {gated} tracked metric(s), "
+              f"{len(bad)} regression(s), {len(skipped)} skipped")
+        for line in skipped:
+            print(f"  skip {line}")
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.tolerance}x tolerance:")
+        for line in regressions:
+            print(f"  FAIL {line}")
+        return 1
+    print(f"\nno regressions across {checked} benchmark file(s) "
+          f"(tolerance {args.tolerance}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

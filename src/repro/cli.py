@@ -27,6 +27,8 @@ Examples
     python -m repro.cli sweep edges.csv --metric density --workers -1 \
         --cache-dir .repro-cache
     python -m repro.cli flow run plan.json --output backbone.csv
+    python -m repro.cli obs trace plan.json --cache-dir .repro-cache
+    python -m repro.cli obs metrics --port 8710
     python -m repro.cli cache stats .repro-cache
     python -m repro.cli cache gc .repro-cache --max-bytes 100000000
     python -m repro.cli cache migrate .repro-cache scores.sqlite
@@ -173,6 +175,30 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print the compiled plan and exit "
                                "without executing")
 
+    obs = commands.add_parser(
+        "obs",
+        help="observability: trace plan executions, scrape metrics")
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    obs_trace = obs_commands.add_parser(
+        "trace", help="run a plan artifact under tracing and dump the "
+                      "trace (span tree, stage durations) as JSON")
+    obs_trace.add_argument("plan", help="path to the plan.json artifact")
+    obs_trace.add_argument("--cache-dir",
+                           help="scored-table cache location (directory, "
+                                ".sqlite file or spec)")
+    obs_trace.add_argument("--workers", type=int,
+                           help="process fan-out; -1 = one per CPU")
+    obs_trace.add_argument("--output",
+                           help="write the trace JSON here instead of "
+                                "stdout")
+    obs_metrics = obs_commands.add_parser(
+        "metrics", help="print a running daemon's Prometheus text "
+                        "exposition (GET /v1/metrics)")
+    obs_metrics.add_argument("--host", default="127.0.0.1",
+                             help="daemon address (default 127.0.0.1)")
+    obs_metrics.add_argument("--port", type=int, default=8710,
+                             help="daemon port (default 8710)")
+
     cache = commands.add_parser(
         "cache", help="inspect and manage scored-table caches")
     cache_commands = cache.add_subparsers(dest="cache_command",
@@ -224,6 +250,14 @@ def build_parser() -> argparse.ArgumentParser:
                              help="admission window in seconds over "
                                   "which concurrent requests coalesce "
                                   "into one batch (default 0.05)")
+    serve_start.add_argument("--slow-request", type=float,
+                             help="log a warning (and count it) for "
+                                  "requests slower end-to-end than "
+                                  "this many seconds")
+    serve_start.add_argument("--probe-interval", type=float, default=5.0,
+                             help="seconds between background probes "
+                                  "that re-arm a degraded cache "
+                                  "backend; 0 disables (default 5)")
     for name, help_text in (
             ("status", "print a running daemon's status as JSON"),
             ("shutdown", "ask a running daemon to stop")):
@@ -442,6 +476,55 @@ def _run_flow(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_obs(args: argparse.Namespace) -> int:
+    import json
+
+    if args.obs_command == "metrics":
+        from .serve import ServeClient
+
+        client = ServeClient(args.host, args.port)
+        try:
+            sys.stdout.write(client.metrics())
+        except OSError as error:
+            print(f"no daemon at {args.host}:{args.port} ({error})",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    from .flow import Plan
+    from .flow.serve import serve
+    from .obs import TRACER, trace, trace_to_dict
+    from .pipeline import ScoreStore
+
+    try:
+        with open(args.plan) as handle:
+            plan = Plan.from_json(handle.read())
+    except OSError as error:
+        print(f"error: cannot read plan: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    store = None if args.cache_dir is None else ScoreStore(args.cache_dir)
+    with trace("cli.trace", plan=plan.fingerprint()[:16]) as root:
+        results = serve([plan], store=store, workers=args.workers)
+    artifact = trace_to_dict(root.trace_id, TRACER.pop(root.trace_id))
+    text = json.dumps(artifact, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    for name, seconds in sorted(artifact["stages"].items(),
+                                key=lambda kv: -kv[1]):
+        print(f"  {name:<16} {seconds:.6f}s", file=sys.stderr)
+    result = results[0]
+    if result.error is not None:
+        print(f"error: plan failed: {result.error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_cache(args: argparse.Namespace) -> int:
     from .pipeline.backends import open_backend
 
@@ -527,9 +610,12 @@ def _run_serve(args: argparse.Namespace) -> int:
         daemon = BackboneDaemon(
             host=args.host, port=args.port, cache_dir=args.cache_dir,
             workers=args.workers, batch_window=args.batch_window,
-            default_deadline=args.deadline).start()
+            default_deadline=args.deadline,
+            slow_request_s=args.slow_request,
+            probe_interval=args.probe_interval).start()
         print(f"backbone daemon listening on {args.host}:{daemon.port} "
-              f"(POST /v1/run, GET /v1/status, POST /v1/shutdown)")
+              f"(POST /v1/run, GET /v1/status, GET /v1/metrics, "
+              f"POST /v1/shutdown)")
         daemon.run_forever()
         print("backbone daemon stopped")
         return 0
@@ -555,7 +641,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {"backbone": _run_backbone, "score": _run_score,
                 "info": _run_info, "convert": _run_convert,
                 "sweep": _run_sweep, "flow": _run_flow,
-                "cache": _run_cache, "serve": _run_serve}
+                "obs": _run_obs, "cache": _run_cache,
+                "serve": _run_serve}
     return handlers[args.command](args)
 
 

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..backbones.base import BackboneMethod
 from ..graph.edge_table import EdgeTable
+from ..obs.trace import span
 from ..pipeline.fingerprint import (fingerprint_score_request,
                                     fingerprint_table)
 from ..pipeline.store import ScoreStore
@@ -67,6 +68,12 @@ def compile_plans(plans: Sequence[Plan], store: Optional[ScoreStore],
     # hashable frozen specs, table sources memoize by table identity.
     by_spec: Dict[object, Tuple[str, Optional[EdgeTable], str]] = {}
     compiled = []
+    with span("flow.compile", plans=len(plans)):
+        _compile_into(plans, store, need_tables, by_spec, compiled)
+    return compiled
+
+
+def _compile_into(plans, store, need_tables, by_spec, compiled):
     for plan in plans:
         require(isinstance(plan, Plan),
                 f"serve expects Plan objects, got {type(plan).__name__}")
@@ -91,7 +98,6 @@ def compile_plans(plans: Sequence[Plan], store: Optional[ScoreStore],
                                      source_fp=source_fp, method=method,
                                      key=key, budget=plan.budget_spec,
                                      metrics=metrics))
-    return compiled
 
 
 def _resolve_source(source, store: Optional[ScoreStore],

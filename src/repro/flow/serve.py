@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..backbones.doubly_stochastic import SinkhornConvergenceError
 from ..graph.edge_table import EdgeTable
+from ..obs.trace import span
 from ..pipeline.executor import score_with_store
 from ..pipeline.store import ScoreStore
 from ..util.parallel import parallel_map, resolve_workers
@@ -114,15 +115,18 @@ def serve_compiled(compiled: Sequence[CompiledPlan],
                                       table=item.table, error=error))
             continue
         try:
-            backbone = shared.get(index)
-            if backbone is None:
-                backbone = _apply_filter(item, scored_by_key[item.key])
-            base_m = nonloop_m.get(id(item.table))
-            if base_m is None:
-                base_m = item.table.without_self_loops().m
-                nonloop_m[id(item.table)] = base_m
-            kept = backbone.m / max(base_m, 1)
-            values = tuple(metric(backbone) for metric in item.metrics)
+            with span("plan.extract", key=item.key[:16]):
+                backbone = shared.get(index)
+                if backbone is None:
+                    backbone = _apply_filter(item,
+                                             scored_by_key[item.key])
+                base_m = nonloop_m.get(id(item.table))
+                if base_m is None:
+                    base_m = item.table.without_self_loops().m
+                    nonloop_m[id(item.table)] = base_m
+                kept = backbone.m / max(base_m, 1)
+                values = tuple(metric(backbone)
+                               for metric in item.metrics)
         except Exception as error:
             # Filter/metric isolation: a budget the method rejects (or
             # a metric blowing up) fails this plan, not its batchmates.
@@ -153,36 +157,39 @@ def _score_batch(compiled: Sequence[CompiledPlan], store: ScoreStore,
     for item in compiled:
         unique.setdefault(item.key, item)
 
-    count = min(resolve_workers(workers), len(unique))
-    if count > 1:
-        pending = [item for key, item in unique.items()
-                   if key not in store]
-        if len(pending) > 1:
-            spec = store.worker_spec()
-            payloads = [(item.method, item.table, spec, item.key)
-                        for item in pending]
-            # retry_serial: a worker killed mid-batch degrades to
-            # scoring the lost requests in-process, never to a raw
-            # BrokenProcessPool surfacing to the caller.
-            outcomes = parallel_map(_score_remote, payloads,
-                                    workers=min(count, len(pending)),
-                                    retry_serial=True)
-            for worker_stats, extras in outcomes:
-                for key, entry in extras:
-                    store.adopt(key, entry)
-                store.stats.merge(worker_stats)
+    with span("flow.score", requests=len(compiled),
+              unique=len(unique)):
+        count = min(resolve_workers(workers), len(unique))
+        if count > 1:
+            pending = [item for key, item in unique.items()
+                       if key not in store]
+            if len(pending) > 1:
+                spec = store.worker_spec()
+                payloads = [(item.method, item.table, spec, item.key)
+                            for item in pending]
+                # retry_serial: a worker killed mid-batch degrades to
+                # scoring the lost requests in-process, never to a raw
+                # BrokenProcessPool surfacing to the caller.
+                outcomes = parallel_map(_score_remote, payloads,
+                                        workers=min(count,
+                                                    len(pending)),
+                                        retry_serial=True)
+                for worker_stats, extras in outcomes:
+                    for key, entry in extras:
+                        store.adopt(key, entry)
+                    store.stats.merge(worker_stats)
 
-    scored_by_key, error_by_key = {}, {}
-    for key, item in unique.items():
-        try:
-            scored_by_key[key] = score_with_store(item.method, item.table,
-                                                  store, key=key)
-        except Exception as error:
-            # Per-plan isolation: deterministic failures (Sinkhorn
-            # non-convergence) are negative-cached by the store; any
-            # other scoring exception still fails only the plans that
-            # share this key, never the batch.
-            error_by_key[key] = error
+        scored_by_key, error_by_key = {}, {}
+        for key, item in unique.items():
+            try:
+                scored_by_key[key] = score_with_store(
+                    item.method, item.table, store, key=key)
+            except Exception as error:
+                # Per-plan isolation: deterministic failures (Sinkhorn
+                # non-convergence) are negative-cached by the store;
+                # any other scoring exception still fails only the
+                # plans that share this key, never the batch.
+                error_by_key[key] = error
     return scored_by_key, error_by_key
 
 

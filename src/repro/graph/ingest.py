@@ -59,6 +59,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..obs.trace import add_attributes, span
 from .edge_table import EdgeTable
 
 PathLike = Union[str, Path]
@@ -101,13 +102,19 @@ def read_edges(path: PathLike, directed: bool = True,
     CSV-only arguments are ignored.
     """
     fmt = format or detect_format(path)
-    if fmt == "npz":
-        return read_edge_npz(path)
-    if fmt != "csv":
-        raise ValueError(f"unknown edge-table format {fmt!r} "
-                         "(expected 'csv' or 'npz')")
-    return _read_csv_table(path, directed=directed, delimiter=delimiter,
-                           labels=labels, block_bytes=block_bytes)
+    with span("ingest.parse", path=str(path), format=fmt) as parse:
+        if fmt == "npz":
+            table = read_edge_npz(path)
+        elif fmt != "csv":
+            raise ValueError(f"unknown edge-table format {fmt!r} "
+                             "(expected 'csv' or 'npz')")
+        else:
+            table = _read_csv_table(path, directed=directed,
+                                    delimiter=delimiter, labels=labels,
+                                    block_bytes=block_bytes)
+        if parse is not None:
+            parse.attributes["rows"] = int(table.m)
+        return table
 
 
 def write_edges(table: EdgeTable, path: PathLike, delimiter: str = ",",
@@ -382,12 +389,14 @@ def _read_csv_table(path: PathLike, directed: bool, delimiter: str,
     # historical semantics), so the integer fast path must not run.
     force_tokens = labels is not None
     state = _ReaderState(builder, delimiter, path, force_tokens)
+    blocks = 0
     with _open_binary(path) as handle:
         remainder = b""
         while True:
             chunk = handle.read(block_bytes)
             if not chunk:
                 break
+            blocks += 1
             chunk = remainder + chunk
             cut = chunk.rfind(b"\n")
             if cut < 0:
@@ -408,6 +417,7 @@ def _read_csv_table(path: PathLike, directed: bool, delimiter: str,
                 state.consume_quoted(remainder)
             else:
                 state.consume(remainder + b"\n")
+    add_attributes(blocks=blocks)
     if not state.saw_header:
         # A completely empty file: the historical reader returned an
         # unlabeled empty table here regardless of ``labels``.

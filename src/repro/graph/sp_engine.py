@@ -64,6 +64,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.trace import span
 from ..util.parallel import chunked, parallel_map, resolve_workers
 from .graph import Graph, concat_csr_slices
 
@@ -196,10 +197,12 @@ class ShortestPathEngine:
         roots = self._resolve_roots(roots)
         if roots.size == 0:
             return np.empty((0, self.graph.n_nodes), dtype=np.float64)
-        parts = parallel_map(
-            partial(_chunk_distances, self._csr),
-            chunked(roots, self._chunk_size(chunk_size, roots.size, workers)),
-            workers=workers)
+        chunks = chunked(
+            roots, self._chunk_size(chunk_size, roots.size, workers))
+        with span("sp.batch", op="distances", roots=int(roots.size),
+                  chunks=len(chunks)):
+            parts = parallel_map(partial(_chunk_distances, self._csr),
+                                 chunks, workers=workers)
         return np.vstack(parts)
 
     def forest(self, roots: Optional[Sequence[int]] = None,
@@ -212,10 +215,12 @@ class ShortestPathEngine:
             empty_f = np.empty((0, n), dtype=np.float64)
             empty_i = np.empty((0, n), dtype=np.int64)
             return ShortestPathForest(roots, empty_f, empty_i, empty_i.copy())
-        parts = parallel_map(
-            partial(_chunk_forest, self._csr),
-            chunked(roots, self._chunk_size(chunk_size, roots.size, workers)),
-            workers=workers)
+        chunks = chunked(
+            roots, self._chunk_size(chunk_size, roots.size, workers))
+        with span("sp.batch", op="forest", roots=int(roots.size),
+                  chunks=len(chunks)):
+            parts = parallel_map(partial(_chunk_forest, self._csr),
+                                 chunks, workers=workers)
         return ShortestPathForest(
             roots=roots,
             dist=np.vstack([p[0] for p in parts]),
@@ -235,10 +240,12 @@ class ShortestPathEngine:
         roots = self._resolve_roots(roots)
         if roots.size == 0:
             return np.zeros(self.graph.m, dtype=np.int64)
-        parts = parallel_map(
-            partial(_chunk_arc_counts, self._csr),
-            chunked(roots, self._chunk_size(chunk_size, roots.size, workers)),
-            workers=workers)
+        chunks = chunked(
+            roots, self._chunk_size(chunk_size, roots.size, workers))
+        with span("sp.batch", op="tree_arc_counts",
+                  roots=int(roots.size), chunks=len(chunks)):
+            parts = parallel_map(partial(_chunk_arc_counts, self._csr),
+                                 chunks, workers=workers)
         return np.sum(parts, axis=0)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,340 @@
+"""Spans, traces, and cross-process propagation.
+
+A *trace* is the story of one request; a *span* is one timed stage of
+it (parse, compile, score, extract ...). The design constraints, in
+order of importance:
+
+1. **Near-free when off.** Instrumented hot paths call :func:`span`,
+   which does a single ``ContextVar.get()``; with no active trace it
+   returns a shared no-op context manager and allocates nothing.
+2. **Fork-safe worker adoption.** ``parallel_map`` ships a picklable
+   :class:`SpanContext` to worker processes; the worker wraps the
+   task in :func:`activate`, which installs a *fresh, empty* sink
+   list for that activation. Only spans recorded inside the sink ride
+   back with the result — a forked child never re-ships spans its
+   parent already recorded, and a serial in-parent retry of the same
+   payload records into the caller's own sink transparently.
+3. **No global mutation until a trace ends.** Finished spans
+   accumulate in the per-trace sink; :func:`trace` publishes the sink
+   to the module-level :data:`TRACER` ring only on exit, so
+   concurrent traces (one per daemon batch) never interleave.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from contextvars import ContextVar
+from typing import (Any, Dict, Iterable, List, NamedTuple, Optional,
+                    Tuple, Union)
+
+__all__ = [
+    "Span", "SpanContext", "Tracer", "TRACER", "activate",
+    "add_attributes", "current_context", "extend_current", "span",
+    "trace",
+]
+
+
+class SpanContext(NamedTuple):
+    """The picklable coordinates of a live span.
+
+    This is what crosses process boundaries: enough for a worker to
+    parent its spans correctly, nothing more.
+    """
+
+    trace_id: str
+    span_id: str
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+class Span:
+    """One timed, attributed stage of a trace.
+
+    ``duration_s`` is wall time (``perf_counter``), ``cpu_s`` is
+    process CPU time (``process_time``) — comparing the two separates
+    "slow because computing" from "slow because waiting".
+    """
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id",
+                 "start_unix", "duration_s", "cpu_s", "attributes",
+                 "_t0", "_c0")
+
+    def __init__(self, name: str, trace_id: str,
+                 parent_id: Optional[str],
+                 attributes: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = _new_id()
+        self.parent_id = parent_id
+        self.attributes = dict(attributes or {})
+        self.start_unix = time.time()
+        self.duration_s = 0.0
+        self.cpu_s = 0.0
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+
+    @classmethod
+    def finished(cls, name: str, trace_id: str,
+                 parent_id: Optional[str] = None, *,
+                 start_unix: float = 0.0, duration_s: float = 0.0,
+                 cpu_s: float = 0.0,
+                 attributes: Optional[Dict[str, Any]] = None
+                 ) -> "Span":
+        """Build an already-closed span from externally measured
+        times (e.g. the daemon's admission wait, whose start predates
+        the batch trace)."""
+        made = cls(name, trace_id, parent_id, attributes)
+        made.start_unix = start_unix
+        made.duration_s = duration_s
+        made.cpu_s = cpu_s
+        return made
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    def finish(self) -> "Span":
+        self.duration_s = time.perf_counter() - self._t0
+        self.cpu_s = time.process_time() - self._c0
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_unix": self.start_unix,
+            "duration_s": self.duration_s,
+            "cpu_s": self.cpu_s,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, trace={self.trace_id[:8]}, "
+                f"dur={self.duration_s:.6f}s)")
+
+
+class _TraceState(NamedTuple):
+    """What "a trace is active here" means: who to parent new spans
+    under, and where finished spans go."""
+
+    parent: Union[Span, SpanContext]
+    sink: List[Span]
+
+
+_STATE: ContextVar[Optional[_TraceState]] = \
+    ContextVar("repro_obs_state", default=None)
+
+
+class _NoopSpan:
+    """Shared do-nothing guard handed out when tracing is inactive."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _SpanGuard:
+    """Context manager produced by :func:`span` inside a live trace."""
+
+    __slots__ = ("_name", "_attributes", "_state", "_span", "_token")
+
+    def __init__(self, name: str, state: _TraceState,
+                 attributes: Dict[str, Any]):
+        self._name = name
+        self._state = state
+        self._attributes = attributes
+        self._span = None
+        self._token = None
+
+    def __enter__(self) -> Span:
+        parent = self._state.parent
+        made = Span(self._name, parent.trace_id, parent.span_id,
+                    self._attributes)
+        self._span = made
+        self._token = _STATE.set(_TraceState(made, self._state.sink))
+        return made
+
+    def __exit__(self, exc_type, exc, tb):
+        made = self._span.finish()
+        if exc_type is not None:
+            made.attributes.setdefault("error", exc_type.__name__)
+        self._state.sink.append(made)
+        _STATE.reset(self._token)
+        return False
+
+
+def span(name: str, **attributes):
+    """Open a child span under the active trace, or do nothing.
+
+    Usable unconditionally on hot paths::
+
+        with span("ingest.parse", path=str(path)) as current:
+            table = parse(path)
+            if current is not None:
+                current.attributes["rows"] = table.m
+
+    The guard yields the live :class:`Span` (attributes can be added
+    while it runs) or ``None`` when no trace is active.
+    """
+    state = _STATE.get()
+    if state is None:
+        return _NOOP
+    return _SpanGuard(name, state, attributes)
+
+
+class _TraceGuard:
+    """Context manager produced by :func:`trace`."""
+
+    __slots__ = ("_name", "_attributes", "_root", "_sink", "_token")
+
+    def __init__(self, name: str, attributes: Dict[str, Any]):
+        self._name = name
+        self._attributes = attributes
+        self._root = None
+        self._sink = None
+        self._token = None
+
+    def __enter__(self) -> Span:
+        root = Span(self._name, uuid.uuid4().hex, None,
+                    self._attributes)
+        self._root = root
+        self._sink = []
+        self._token = _STATE.set(_TraceState(root, self._sink))
+        return root
+
+    def __exit__(self, exc_type, exc, tb):
+        root = self._root.finish()
+        if exc_type is not None:
+            root.attributes.setdefault("error", exc_type.__name__)
+        self._sink.append(root)
+        _STATE.reset(self._token)
+        TRACER.save(root.trace_id, self._sink)
+        return False
+
+
+def trace(name: str, **attributes) -> _TraceGuard:
+    """Start a brand-new trace rooted at a span called ``name``.
+
+    Yields the root :class:`Span` (exposing ``trace_id``); on exit
+    the full span list is published to :data:`TRACER`, newest-first
+    evicted beyond its capacity. A ``trace`` opened inside another
+    trace starts an independent one — the daemon relies on this to
+    give every batch its own trace regardless of caller state.
+    """
+    return _TraceGuard(name, attributes)
+
+
+class _ActivationGuard:
+    """Adopt a remote parent: a fresh sink under ``ctx``.
+
+    Used by worker processes (and in-parent serial retries): spans
+    recorded during the activation land in ``.spans`` only, never in
+    any inherited state, so a forked child cannot duplicate spans the
+    parent process already recorded.
+    """
+
+    __slots__ = ("_ctx", "spans", "_token")
+
+    def __init__(self, ctx: SpanContext):
+        self._ctx = ctx
+        self.spans: List[Span] = []
+        self._token = None
+
+    def __enter__(self) -> "_ActivationGuard":
+        self._token = _STATE.set(_TraceState(self._ctx, self.spans))
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        _STATE.reset(self._token)
+        return False
+
+
+def activate(ctx: SpanContext) -> _ActivationGuard:
+    """Record spans under a parent that lives in another process."""
+    return _ActivationGuard(ctx)
+
+
+def current_context() -> Optional[SpanContext]:
+    """The active span's picklable coordinates, or ``None``."""
+    state = _STATE.get()
+    if state is None:
+        return None
+    parent = state.parent
+    return SpanContext(parent.trace_id, parent.span_id)
+
+
+def add_attributes(**attributes) -> bool:
+    """Attach attributes to the innermost live span, if any.
+
+    Returns whether anything was recorded — callers on hot paths can
+    ignore the result; the inactive cost is one context read.
+    """
+    state = _STATE.get()
+    if state is None or not isinstance(state.parent, Span):
+        return False
+    state.parent.attributes.update(attributes)
+    return True
+
+
+def extend_current(spans: Iterable[Span]) -> bool:
+    """Adopt already-finished spans (e.g. shipped back from a worker)
+    into the active trace's sink. No-op without an active trace."""
+    state = _STATE.get()
+    if state is None:
+        return False
+    state.sink.extend(spans)
+    return True
+
+
+class Tracer:
+    """A small bounded ring of finished traces.
+
+    The daemon pops each batch trace immediately; the CLI and tests
+    read back the most recent ones. Keeping only ``max_traces`` spans
+    lists bounds memory on long-lived processes.
+    """
+
+    def __init__(self, max_traces: int = 32):
+        self.max_traces = int(max_traces)
+        self._lock = threading.Lock()
+        self._traces: "OrderedDict[str, List[Span]]" = OrderedDict()
+
+    def save(self, trace_id: str, spans: Iterable[Span]) -> None:
+        with self._lock:
+            self._traces[trace_id] = list(spans)
+            self._traces.move_to_end(trace_id)
+            while len(self._traces) > self.max_traces:
+                self._traces.popitem(last=False)
+
+    def get(self, trace_id: str) -> List[Span]:
+        with self._lock:
+            return list(self._traces.get(trace_id, ()))
+
+    def pop(self, trace_id: str) -> List[Span]:
+        with self._lock:
+            return self._traces.pop(trace_id, [])
+
+    def last(self) -> Optional[str]:
+        with self._lock:
+            return next(reversed(self._traces), None)
+
+    def ids(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._traces)
+
+
+TRACER = Tracer()

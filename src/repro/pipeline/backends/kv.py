@@ -22,7 +22,14 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional
 
+from ...obs.metrics import get_registry
 from .base import BackendCorruption, EntryInfo, RawEntry, StoreBackend
+
+# One process-wide retry series across every KV client instance.
+_KV_RETRIES = get_registry().counter(
+    "repro_kv_retries_total",
+    "Transient KV transport faults retried by the client.",
+    labels=("op",))
 
 
 class KVError(Exception):
@@ -149,6 +156,7 @@ class KVBackend(StoreBackend):
             except (KVTimeoutError, KVTransientError) as error:
                 last_error = error
                 self.retries += 1
+                _KV_RETRIES.inc(op=op)
                 if attempt + 1 < self.max_attempts and self.retry_wait:
                     self._sleep(self.retry_wait * (2 ** attempt))
         raise KVUnavailableError(

@@ -24,6 +24,7 @@ extractions (``extract``) and sweeps (``sweep``) from the cache.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -31,6 +32,7 @@ from ..backbones.base import BackboneMethod, ScoredEdges
 from ..backbones.doubly_stochastic import SinkhornConvergenceError
 from ..evaluation.sweep import DEFAULT_SHARES, SweepSeries
 from ..graph.edge_table import EdgeTable
+from ..obs.trace import span
 from ..util.parallel import parallel_map, resolve_workers
 from .fingerprint import fingerprint_score_request, fingerprint_table
 from .store import CacheStats, PathLike, ScoreStore
@@ -44,13 +46,17 @@ def score_with_store(method: BackboneMethod, table: EdgeTable,
 
     ``key`` accepts a precomputed fingerprint so sweep loops hash the
     table once instead of once per method.
+
+    The ``score`` span's ``pid`` attribute tells worker-process
+    scoring apart from in-parent scoring in an exported trace.
     """
-    if store is None:
-        return method.score(table)
-    if key is None:
-        key = fingerprint_score_request(table, method)
-    return store.get_or_compute(key, lambda: method.score(table),
-                                label=method.name)
+    with span("score", method=method.name, pid=os.getpid()):
+        if store is None:
+            return method.score(table)
+        if key is None:
+            key = fingerprint_score_request(table, method)
+        return store.get_or_compute(key, lambda: method.score(table),
+                                    label=method.name)
 
 
 @dataclass

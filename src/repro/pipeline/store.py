@@ -46,6 +46,8 @@ from pathlib import Path
 from typing import Callable, Optional, Union
 
 from ..backbones.base import ScoredEdges
+from ..obs.metrics import get_registry
+from ..obs.trace import span
 from .backends import (BackendCorruption, DirectoryBackend, EntryCorrupt,
                        EntryEncodeError, GCPolicy, GCResult,
                        KVUnavailableError, NegativeEntry, RawEntry,
@@ -55,6 +57,14 @@ from .backends import (BackendCorruption, DirectoryBackend, EntryCorrupt,
 from .fingerprint import _SCHEMA_VERSION
 
 logger = logging.getLogger(__name__)
+
+# Process-wide degradation lifecycle events, across every store.
+_DEGRADED_EVENTS = get_registry().counter(
+    "repro_cache_degraded_transitions_total",
+    "ScoreStore flips into memory-only degraded mode.")
+_REARM_EVENTS = get_registry().counter(
+    "repro_cache_rearm_total",
+    "Degraded ScoreStores re-armed onto their backend by a probe.")
 
 PathLike = Union[str, Path]
 
@@ -196,6 +206,7 @@ class ScoreStore:
             return False
         self._degraded = False
         self.stats.degraded = False
+        _REARM_EVENTS.inc()
         logger.warning("score-store backend answered a probe; leaving "
                        "degraded mode")
         return True
@@ -205,6 +216,7 @@ class ScoreStore:
         if not self._degraded:
             self._degraded = True
             self.stats.degraded = True
+            _DEGRADED_EVENTS.inc()
             logger.warning(
                 "score-store backend unavailable (%s); degrading to "
                 "memory-only operation", error)
@@ -225,8 +237,9 @@ class ScoreStore:
     def put(self, key: str, scored: ScoredEdges) -> None:
         """Insert ``scored`` under ``key`` in both tiers."""
         self.stats.puts += 1
-        self._remember(key, scored)
-        self._write_backend(key, scored)
+        with span("store.put", key=key[:16]):
+            self._remember(key, scored)
+            self._write_backend(key, scored)
 
     def put_negative(self, key: str, negative: NegativeEntry) -> None:
         """Record a deterministic scoring failure under ``key``."""
@@ -245,7 +258,16 @@ class ScoreStore:
         exception) is recorded before propagating. ``label`` names the
         computation in recorded negative entries.
         """
-        found = self._lookup(key)
+        with span("store.get", key=key[:16]) as access:
+            found = self._lookup(key)
+            if access is not None:
+                if isinstance(found, NegativeEntry):
+                    outcome = "negative"
+                elif found is not None:
+                    outcome = "hit"
+                else:
+                    outcome = "miss"
+                access.attributes["outcome"] = outcome
         if isinstance(found, NegativeEntry):
             raise found.to_exception()
         if found is not None:

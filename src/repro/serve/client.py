@@ -53,7 +53,8 @@ class ServeClient:
 
     def run(self, plans: Sequence[Union[str, Dict[str, object]]],
             deadline: Optional[float] = None,
-            return_edges: bool = False) -> Dict[str, object]:
+            return_edges: bool = False,
+            trace: bool = False) -> Dict[str, object]:
         """POST a batch of plan artifacts; return the decoded reply.
 
         ``plans`` holds :meth:`~repro.flow.Plan.to_json` strings or
@@ -61,6 +62,10 @@ class ServeClient:
         when the daemon reports the deadline passed first, and
         :class:`ServeError` for any other request-level failure; plan-
         level failures come back inside ``reply["results"]``.
+
+        ``trace=True`` asks the daemon to trace this request; the
+        reply then carries a ``"trace"`` artifact (trace id, span
+        tree, per-stage durations — see :mod:`repro.obs`).
         """
         body: Dict[str, object] = {
             "plans": [json.loads(p) if isinstance(p, str) else p
@@ -69,11 +74,17 @@ class ServeClient:
         }
         if deadline is not None:
             body["deadline"] = float(deadline)
+        if trace:
+            body["trace"] = True
         return self._call("POST", "/v1/run", body)
 
     def status(self) -> Dict[str, object]:
         """Daemon counters, store stats and configuration."""
         return self._call("GET", "/v1/status")
+
+    def metrics(self) -> str:
+        """The daemon's Prometheus text exposition (``/v1/metrics``)."""
+        return self._call_text("GET", "/v1/metrics")
 
     def healthy(self) -> bool:
         """True when the daemon answers its health check."""
@@ -114,6 +125,21 @@ class ServeClient:
                 raise DeadlineExceeded(message)
             raise ServeError(response.status, kind, message)
         return decoded
+
+    def _call_text(self, verb: str, path: str) -> str:
+        """Like :meth:`_call` for plain-text endpoints (no JSON)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request(verb, path)
+            response = connection.getresponse()
+            text = response.read().decode("utf-8")
+        finally:
+            connection.close()
+        if response.status >= 400:
+            raise ServeError(response.status, "ServeError",
+                             text.strip() or "request failed")
+        return text
 
 
 def collect_results(reply: Dict[str, object]) -> List[Dict[str, object]]:

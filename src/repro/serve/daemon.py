@@ -31,17 +31,31 @@ rather than a script is what it keeps warm and what it survives:
   that stalls mid-request occupies one handler thread for at most
   ``request_timeout`` seconds, not forever.
 
+* **Observability** (:mod:`repro.obs`). Every counter goes through a
+  threadsafe :class:`DaemonStats`; ``GET /v1/metrics`` serves the
+  Prometheus text exposition over the daemon's registry *and* the
+  process registry (pool retries, KV retries, store degradation);
+  a request carrying ``"trace": true`` gets a JSON trace artifact —
+  admission wait, compile, parse, scoring (worker spans included),
+  extraction, store access — attached to its response; requests
+  slower than ``slow_request_s`` are logged with their stage split;
+  and a background ticker probes a degraded store back to health
+  without waiting for client traffic.
+
 Wire protocol (JSON over HTTP; all paths under ``/v1``):
 
 ``POST /v1/run``
     ``{"plans": [<plan artifact>, ...], "deadline": 5.0,
-    "return_edges": false}`` → ``{"protocol": 1, "results": [...],
-    "degraded": false, "batch": {"plans": N, "clients": K}}``; each
-    result is ``{"ok": true, cache_key, kept_share, metrics,
-    backbone: {m, n_nodes}[, edges]}`` or ``{"ok": false, "error":
-    {"type", "message"}}``, aligned with the request's plan list.
+    "return_edges": false, "trace": false}`` → ``{"protocol": 1,
+    "results": [...], "degraded": false, "batch": {"plans": N,
+    "clients": K}[, "trace": {...}]}``; each result is ``{"ok":
+    true, cache_key, kept_share, metrics, backbone: {m, n_nodes}
+    [, edges]}`` or ``{"ok": false, "error": {"type", "message"}}``,
+    aligned with the request's plan list.
 ``GET /v1/status``
     Uptime, request/batch/coalescing counters, store stats, config.
+``GET /v1/metrics``
+    Prometheus text exposition (version 0.0.4).
 ``POST /v1/shutdown``
     Acknowledges, then stops the daemon gracefully.
 """
@@ -52,12 +66,14 @@ import json
 import logging
 import threading
 import time
-from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..flow.plan import Plan
 from ..flow.serve import FlowResult
+from ..obs.export import render_prometheus, trace_to_dict
+from ..obs.metrics import MetricsRegistry, get_registry, make_family
+from ..obs.trace import TRACER, Span, trace
 from ..pipeline.store import PathLike, ScoreStore
 from .engine import serve_isolated
 
@@ -75,44 +91,92 @@ class DeadlineExceeded(RuntimeError):
     """A request's deadline passed before its results were ready."""
 
 
-@dataclass
-class DaemonStats:
-    """Counters over one daemon lifetime (all mutated under the
-    daemon's condition lock except ``started``)."""
+#: DaemonStats counter fields and their metric help text (each is
+#: exported as ``repro_daemon_<field>_total``).
+_STAT_HELP = {
+    "requests": "POST /v1/run requests admitted.",
+    "plans": "Plan slots served (structured errors included).",
+    "plan_errors": "Plan slots answered with a structured error.",
+    "batches": "serve_isolated batch executions.",
+    "coalesced_batches": "Batches that merged two or more requests.",
+    "cancelled":
+        "Tickets dropped with an expired deadline while queued.",
+    "deadline_misses": "Clients that timed out waiting for results.",
+    "batch_failures": "Whole-batch engine failures survived.",
+    "served": "Tickets answered with results.",
+    "slow_requests":
+        "Requests slower than the slow-request threshold.",
+    "probe_rearms":
+        "Store re-arms performed by the background probe ticker.",
+}
 
-    started: float = field(default_factory=time.time)
-    requests: int = 0          # POST /v1/run calls admitted
-    plans: int = 0             # plan slots served (errors included)
-    plan_errors: int = 0       # slots answered with a structured error
-    batches: int = 0           # serve_isolated executions
-    coalesced_batches: int = 0  # batches that merged >= 2 requests
-    cancelled: int = 0         # tickets dropped with an expired deadline
-    deadline_misses: int = 0   # clients that timed out waiting
-    batch_failures: int = 0    # whole-batch surprises survived
+
+class DaemonStats:
+    """Threadsafe counters over one daemon lifetime.
+
+    Handler threads, the batcher and the probe ticker all increment
+    concurrently, so every mutation goes through :meth:`inc` under
+    one lock — a bare ``+=`` from two threads can drop updates.
+    Plain attribute reads (``stats.cancelled``) keep working.
+
+    ``served`` and ``cancelled`` are the mutually exclusive per-ticket
+    *outcomes* the batcher assigns, so once the queue is drained
+    ``requests == served + cancelled`` holds exactly (the consistency
+    contract the concurrent-clients test asserts).
+    ``deadline_misses`` counts *clients* that stopped waiting and is
+    orthogonal: a missed request's batch usually still serves its
+    ticket and warms the store.
+    """
+
+    FIELDS = tuple(_STAT_HELP)
+
+    def __init__(self):
+        self.started = time.time()
+        self._lock = threading.Lock()
+        self._counts = dict.fromkeys(self.FIELDS, 0)
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[name] += amount
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def __getattr__(self, name: str):
+        counts = self.__dict__.get("_counts")
+        if counts is not None and name in counts:
+            with self.__dict__["_lock"]:
+                return counts[name]
+        raise AttributeError(name)
 
     def payload(self) -> Dict[str, object]:
-        return {
-            "uptime_s": max(0.0, time.time() - self.started),
-            "requests": self.requests, "plans": self.plans,
-            "plan_errors": self.plan_errors, "batches": self.batches,
-            "coalesced_batches": self.coalesced_batches,
-            "cancelled": self.cancelled,
-            "deadline_misses": self.deadline_misses,
-            "batch_failures": self.batch_failures,
-        }
+        snap = self.snapshot()
+        snap["uptime_s"] = max(0.0, time.time() - self.started)
+        return snap
 
 
 class _Ticket:
     """One client request waiting for its slice of a batch."""
 
-    __slots__ = ("plans", "deadline", "event", "results", "batch")
+    __slots__ = ("plans", "deadline", "event", "results", "batch",
+                 "trace", "enqueued_unix", "enqueued_pc", "artifact",
+                 "outcome")
 
-    def __init__(self, plans: List[Plan], deadline: float):
+    def __init__(self, plans: List[Plan], deadline: float,
+                 trace: bool = False):
         self.plans = plans
         self.deadline = deadline  # absolute, time.monotonic() scale
         self.event = threading.Event()
         self.results: Optional[List[FlowResult]] = None
         self.batch: Dict[str, int] = {}
+        self.trace = trace
+        self.enqueued_unix = time.time()
+        self.enqueued_pc = time.perf_counter()
+        self.artifact: Optional[Dict[str, Any]] = None
+        #: "served" or "cancelled", assigned exactly once by the
+        #: batcher (the client never claims an outcome).
+        self.outcome: Optional[str] = None
 
 
 class BackboneDaemon:
@@ -135,6 +199,14 @@ class BackboneDaemon:
         Request deadline applied when the client sends none.
     request_timeout:
         Socket read timeout per request — the slow-client bound.
+    slow_request_s:
+        Log any request slower than this (seconds, end to end) with
+        its queue/batch split; ``None`` disables the slow-request log.
+    probe_interval:
+        Seconds between background :meth:`ScoreStore.probe_backend`
+        checks while the store is degraded, so an outage heals
+        without client traffic; ``None`` or ``0`` disables the
+        ticker.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
@@ -143,7 +215,9 @@ class BackboneDaemon:
                  workers: Optional[int] = None,
                  batch_window: float = 0.05,
                  default_deadline: float = 30.0,
-                 request_timeout: float = 10.0):
+                 request_timeout: float = 10.0,
+                 slow_request_s: Optional[float] = None,
+                 probe_interval: Optional[float] = 5.0):
         if store is not None and cache_dir is not None:
             raise ValueError("pass either store or cache_dir, not both")
         if store is None:
@@ -153,7 +227,22 @@ class BackboneDaemon:
         self.batch_window = float(batch_window)
         self.default_deadline = float(default_deadline)
         self.request_timeout = float(request_timeout)
+        self.slow_request_s = None if slow_request_s is None \
+            else float(slow_request_s)
+        self.probe_interval = None if not probe_interval \
+            else float(probe_interval)
         self.stats = DaemonStats()
+        self.registry = MetricsRegistry()
+        self._queue_hist = self.registry.histogram(
+            "repro_daemon_queue_wait_seconds",
+            "Time requests spend queued in the admission window.")
+        self._batch_hist = self.registry.histogram(
+            "repro_daemon_batch_exec_seconds",
+            "serve_isolated execution time per batch.")
+        self._request_hist = self.registry.histogram(
+            "repro_daemon_request_seconds",
+            "Admission-to-results latency per served request.")
+        self.registry.register_collector(self._collect_families)
         self._host, self._port = host, int(port)
         self._cond = threading.Condition()
         self._pending: List[_Ticket] = []
@@ -161,6 +250,7 @@ class BackboneDaemon:
         self._server: Optional[ThreadingHTTPServer] = None
         self._threads: List[threading.Thread] = []
         self._stopped = threading.Event()
+        self._probe_stop = threading.Event()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -183,12 +273,17 @@ class BackboneDaemon:
         self._server.daemon_threads = True
         self._stopping = False
         self._stopped.clear()
+        self._probe_stop.clear()
         self._threads = [
             threading.Thread(target=self._server.serve_forever,
                              name="repro-serve-http", daemon=True),
             threading.Thread(target=self._batch_loop,
                              name="repro-serve-batcher", daemon=True),
         ]
+        if self.probe_interval:
+            self._threads.append(
+                threading.Thread(target=self._probe_loop,
+                                 name="repro-serve-probe", daemon=True))
         for thread in self._threads:
             thread.start()
         logger.info("backbone daemon listening on %s:%d",
@@ -198,6 +293,7 @@ class BackboneDaemon:
     def stop(self) -> None:
         """Stop accepting requests, flush the queue, release the port."""
         server, self._server = self._server, None
+        self._probe_stop.set()
         with self._cond:
             self._stopping = True
             self._cond.notify_all()
@@ -240,24 +336,25 @@ class BackboneDaemon:
         return self._await(self._admit(plans, deadline))
 
     def _admit(self, plans: Sequence[Plan],
-               deadline: Optional[float]) -> _Ticket:
+               deadline: Optional[float],
+               trace: bool = False) -> _Ticket:
         budget = self.default_deadline if deadline is None \
             else float(deadline)
         budget = max(0.0, budget)
-        ticket = _Ticket(list(plans), time.monotonic() + budget)
+        ticket = _Ticket(list(plans), time.monotonic() + budget,
+                         trace=trace)
         with self._cond:
             if self._stopping:
                 raise RuntimeError("daemon is shutting down")
-            self.stats.requests += 1
             self._pending.append(ticket)
             self._cond.notify_all()
+        self.stats.inc("requests")
         return ticket
 
     def _await(self, ticket: _Ticket) -> List[FlowResult]:
         budget = max(0.0, ticket.deadline - time.monotonic())
         if not ticket.event.wait(timeout=budget):
-            with self._cond:
-                self.stats.deadline_misses += 1
+            self.stats.inc("deadline_misses")
             raise DeadlineExceeded(
                 "request missed its deadline; the batch continues in "
                 "the background and warms the cache for a retry")
@@ -287,8 +384,8 @@ class BackboneDaemon:
         for ticket in tickets:
             if ticket.deadline <= now:
                 # Cancelled: its plans are never served.
-                with self._cond:
-                    self.stats.cancelled += 1
+                ticket.outcome = "cancelled"
+                self.stats.inc("cancelled")
                 ticket.event.set()
             else:
                 live.append(ticket)
@@ -296,22 +393,34 @@ class BackboneDaemon:
             return
         plans = [plan for ticket in live for plan in ticket.plans]
         batch_info = {"plans": len(plans), "clients": len(live)}
+        trace_root: Optional[Span] = None
+        batch_spans: List[Span] = []
+        exec_start_pc = time.perf_counter()
         try:
-            results = serve_isolated(plans, store=self.store,
-                                     workers=self.workers)
+            if any(ticket.trace for ticket in live):
+                with trace("serve.batch", plans=len(plans),
+                           clients=len(live)) as trace_root:
+                    results = serve_isolated(plans, store=self.store,
+                                             workers=self.workers)
+            else:
+                results = serve_isolated(plans, store=self.store,
+                                         workers=self.workers)
         except Exception:
             # serve_isolated isolates per plan; reaching here means a
             # genuine engine bug. Fail these requests, not the daemon.
             logger.exception("batch execution failed; failing %d "
                              "requests and continuing", len(live))
-            with self._cond:
-                self.stats.batch_failures += 1
+            self.stats.inc("batch_failures")
             results = None
-        with self._cond:
-            self.stats.batches += 1
-            if len(live) > 1:
-                self.stats.coalesced_batches += 1
-            self.stats.plans += len(plans)
+        if trace_root is not None:
+            batch_spans = TRACER.pop(trace_root.trace_id)
+        end_pc = time.perf_counter()
+        batch_s = end_pc - exec_start_pc
+        self._batch_hist.observe(batch_s)
+        self.stats.inc("batches")
+        if len(live) > 1:
+            self.stats.inc("coalesced_batches")
+        self.stats.inc("plans", len(plans))
         cursor = 0
         for ticket in live:
             count = len(ticket.plans)
@@ -325,14 +434,96 @@ class BackboneDaemon:
                 ticket.results = results[cursor:cursor + count]
             cursor += count
             ticket.batch = batch_info
-            with self._cond:
-                self.stats.plan_errors += sum(
-                    1 for result in ticket.results if not result.ok)
+            errors = sum(1 for result in ticket.results
+                         if not result.ok)
+            if errors:
+                self.stats.inc("plan_errors", errors)
+            queue_wait = max(0.0, exec_start_pc - ticket.enqueued_pc)
+            total_s = end_pc - ticket.enqueued_pc
+            self._queue_hist.observe(queue_wait)
+            self._request_hist.observe(total_s)
+            if ticket.trace and trace_root is not None:
+                ticket.artifact = _trace_artifact(
+                    ticket, trace_root, batch_spans, queue_wait,
+                    total_s, self.batch_window)
+            ticket.outcome = "served"
+            self.stats.inc("served")
+            if self.slow_request_s is not None \
+                    and total_s >= self.slow_request_s:
+                self.stats.inc("slow_requests")
+                logger.warning(
+                    "slow request: %.3fs end to end (%.3fs queued, "
+                    "%.3fs batch) for %d plan(s)",
+                    total_s, queue_wait, batch_s, len(ticket.plans))
             ticket.event.set()
+
+    def _probe_loop(self) -> None:
+        # Re-arm a degraded store without waiting for client traffic;
+        # probe_backend() is a no-op on a healthy store.
+        while not self._probe_stop.wait(self.probe_interval):
+            if self.store.degraded and self.store.probe_backend():
+                self.stats.inc("probe_rearms")
+                logger.info("background probe re-armed the score "
+                            "store's backend")
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """The ``GET /v1/metrics`` Prometheus text exposition:
+        the daemon's own registry layered over the process-wide one
+        (pool, KV and store-degradation series)."""
+        return render_prometheus([get_registry(), self.registry])
+
+    def _collect_families(self):
+        snap = self.stats.snapshot()
+        families = [
+            make_family("counter", f"repro_daemon_{name}_total",
+                        _STAT_HELP[name], count)
+            for name, count in snap.items()]
+        families.append(make_family(
+            "gauge", "repro_daemon_uptime_seconds",
+            "Seconds since the daemon started.",
+            max(0.0, time.time() - self.stats.started)))
+        with self._cond:
+            depth = len(self._pending)
+        families.append(make_family(
+            "gauge", "repro_daemon_pending_requests",
+            "Requests queued in the admission window.", depth))
+        stats = self.store.stats
+        families.extend([
+            make_family("counter", "repro_cache_hits_total",
+                        "Score-store hits by tier.",
+                        [({"tier": "memory"}, stats.memory_hits),
+                         ({"tier": "disk"}, stats.disk_hits)]),
+            make_family("counter", "repro_cache_misses_total",
+                        "Score-store lookups answered by neither "
+                        "tier.", stats.misses),
+            make_family("counter", "repro_cache_puts_total",
+                        "Scored tables inserted into the store.",
+                        stats.puts),
+            make_family("counter", "repro_cache_evictions_total",
+                        "Entries evicted from either tier.",
+                        stats.evictions),
+            make_family("counter", "repro_cache_corrupt_total",
+                        "Corrupt persistent entries detected.",
+                        stats.corrupt),
+            make_family("counter", "repro_cache_negative_hits_total",
+                        "Lookups answered by a cached failure.",
+                        stats.negative_hits),
+            make_family("counter", "repro_cache_negative_puts_total",
+                        "Deterministic failures recorded.",
+                        stats.negative_puts),
+            make_family("counter",
+                        "repro_cache_backend_failures_total",
+                        "Backend outages the store survived.",
+                        stats.backend_failures),
+            make_family("gauge", "repro_cache_degraded",
+                        "1 while the store is memory-only degraded.",
+                        1.0 if self.store.degraded else 0.0),
+        ])
+        return families
 
     def status(self) -> Dict[str, object]:
         """The ``GET /v1/status`` payload."""
@@ -353,10 +544,42 @@ class BackboneDaemon:
                 "batch_window_s": self.batch_window,
                 "default_deadline_s": self.default_deadline,
                 "request_timeout_s": self.request_timeout,
+                "slow_request_s": self.slow_request_s,
+                "probe_interval_s": self.probe_interval,
                 "backend": (None if self.store.backend is None
                             else self.store.backend.describe()),
             },
         }
+
+
+def _trace_artifact(ticket: _Ticket, root: Span,
+                    batch_spans: List[Span], queue_wait: float,
+                    total_s: float,
+                    batch_window: float) -> Dict[str, Any]:
+    """One ticket's JSON trace artifact.
+
+    The batch trace is shared by every coalesced client; each ticket
+    gets its own synthetic ``serve.request`` root (admission to
+    results) with an ``admission.wait`` child covering the queued
+    stretch, and the recorded batch spans re-parented underneath —
+    so a request's stage durations sum to its wall time.
+    """
+    trace_id = root.trace_id
+    request = Span.finished(
+        "serve.request", trace_id,
+        start_unix=ticket.enqueued_unix, duration_s=total_s,
+        attributes={"plans": len(ticket.plans)})
+    wait = Span.finished(
+        "admission.wait", trace_id, parent_id=request.span_id,
+        start_unix=ticket.enqueued_unix, duration_s=queue_wait,
+        attributes={"batch_window_s": batch_window})
+    spans: List[Dict[str, Any]] = [request.to_dict(), wait.to_dict()]
+    for recorded in batch_spans:
+        node = recorded.to_dict()
+        if node["parent_id"] is None:
+            node["parent_id"] = request.span_id
+        spans.append(node)
+    return trace_to_dict(trace_id, spans)
 
 
 # ----------------------------------------------------------------------
@@ -403,6 +626,15 @@ def _make_handler(daemon: BackboneDaemon):
             self.end_headers()
             self.wfile.write(body)
 
+        def _reply_text(self, status: int, text: str,
+                        content_type: str) -> None:
+            body = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
         def _fail(self, status: int, kind: str, message: str) -> None:
             self._reply(status, {"protocol": PROTOCOL_VERSION,
                                  "error": {"type": kind,
@@ -413,6 +645,10 @@ def _make_handler(daemon: BackboneDaemon):
         def do_GET(self):
             if self.path in ("/v1/status", "/status"):
                 self._reply(200, daemon.status())
+            elif self.path in ("/v1/metrics", "/metrics"):
+                self._reply_text(
+                    200, daemon.metrics_text(),
+                    "text/plain; version=0.0.4; charset=utf-8")
             elif self.path == "/healthz":
                 self._reply(200, {"ok": True})
             else:
@@ -466,13 +702,17 @@ def _make_handler(daemon: BackboneDaemon):
                     slots.append({"ok": False,
                                   "error": {"type": type(error).__name__,
                                             "message": str(error)}})
+            want_trace = bool(body.get("trace", False))
             batch: Dict[str, int] = {"plans": 0, "clients": 0}
             results: List[FlowResult] = []
+            artifact = None
             if plans:
                 try:
-                    ticket = daemon._admit(plans, deadline)
+                    ticket = daemon._admit(plans, deadline,
+                                           trace=want_trace)
                     results = daemon._await(ticket)
                     batch = ticket.batch
+                    artifact = ticket.artifact
                 except DeadlineExceeded as error:
                     self._fail(504, "DeadlineExceeded", str(error))
                     return
@@ -484,11 +724,14 @@ def _make_handler(daemon: BackboneDaemon):
                             for result in results])
             payload = [slot if slot is not None else next(encoded)
                        for slot in slots]
-            self._reply(200, {
+            reply: Dict[str, object] = {
                 "protocol": PROTOCOL_VERSION,
                 "results": payload,
                 "degraded": daemon.store.degraded,
                 "batch": batch,
-            })
+            }
+            if want_trace:
+                reply["trace"] = artifact
+            self._reply(200, reply)
 
     return Handler

@@ -28,11 +28,30 @@ import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, \
-    TypeVar
+from typing import (Any, Callable, Iterable, List, NamedTuple, Optional,
+                    Sequence, Tuple, TypeVar)
+
+from ..obs.metrics import get_registry
+from ..obs.trace import (SpanContext, activate, add_attributes,
+                         current_context, extend_current)
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+# Declared at import so every series exists (at 0) on first scrape.
+_REGISTRY = get_registry()
+_POOL_TASKS = _REGISTRY.counter(
+    "repro_pool_tasks_total",
+    "Tasks dispatched to worker pools (parallel_map, workers > 1).")
+_POOL_LOST = _REGISTRY.counter(
+    "repro_pool_tasks_lost_total",
+    "Tasks whose results were lost to a pool infrastructure fault.")
+_POOL_RETRIES = _REGISTRY.counter(
+    "repro_pool_serial_retries_total",
+    "Lost tasks transparently re-run serially in the parent process.")
+_POOL_ERRORS = _REGISTRY.counter(
+    "repro_pool_errors_total",
+    "WorkerPoolError raised to callers (no retry_serial requested).")
 
 
 class WorkerPoolError(RuntimeError):
@@ -86,11 +105,27 @@ def parallel_map(fn: Callable[[_T], _R], items: Iterable[_T],
     not broken: the returned list is complete and identical to a fully
     serial run (``fn`` is deterministic for every caller in this
     codebase).
+
+    When a trace is active in the caller (:mod:`repro.obs`), its
+    :class:`SpanContext` ships with every task; spans the mapped
+    function opens in a worker are recorded under that parent and
+    adopted back into the caller's trace with the results, and serial
+    retries stamp a ``pool.retry_serial`` attribute on the enclosing
+    span so healed worker deaths stay visible.
     """
     items = list(items)
     count = min(resolve_workers(workers), len(items))
     if count <= 1:
         return [fn(item) for item in items]
+
+    ctx = current_context()
+    if ctx is not None:
+        payloads: List[Any] = [_TracedTask(fn, item, ctx)
+                               for item in items]
+        run: Callable[[Any], Any] = _traced_call
+    else:
+        payloads, run = items, fn
+    _POOL_TASKS.inc(len(items))
 
     results: List[Optional[_R]] = [None] * len(items)
     failed: List[int] = []
@@ -99,8 +134,10 @@ def parallel_map(fn: Callable[[_T], _R], items: Iterable[_T],
                                    mp_context=_pool_context())
     try:
         try:
-            futures = [executor.submit(fn, item) for item in items]
+            futures = [executor.submit(run, payload)
+                       for payload in payloads]
         except (BrokenProcessPool, pickle.PicklingError) as error:
+            _POOL_ERRORS.inc()
             raise WorkerPoolError(
                 f"could not dispatch tasks to the worker pool: {error}",
                 failed=range(len(items)), cause=error) from error
@@ -120,15 +157,58 @@ def parallel_map(fn: Callable[[_T], _R], items: Iterable[_T],
         executor.shutdown(wait=False, cancel_futures=True)
 
     if failed:
+        _POOL_LOST.inc(len(failed))
         if not retry_serial:
+            _POOL_ERRORS.inc()
             raise WorkerPoolError(
                 f"worker pool lost {len(failed)} of {len(items)} tasks "
                 f"(ids {list(failed)}): {cause}; pass retry_serial=True "
                 "to re-run lost tasks serially in the parent process",
                 failed=failed, cause=cause)
+        _POOL_RETRIES.inc(len(failed))
+        add_attributes(**{"pool.retry_serial": len(failed),
+                          "pool.retry_ids": sorted(failed)})
         for index in failed:
-            results[index] = fn(items[index])
+            results[index] = run(payloads[index])
+    if ctx is not None:
+        results = [_adopt(wrapped) for wrapped in results]
     return results
+
+
+class _TracedTask(NamedTuple):
+    """A task plus the trace coordinates it must record under."""
+
+    fn: Callable[[Any], Any]
+    item: Any
+    ctx: SpanContext
+
+
+class _TaskSpans(NamedTuple):
+    """A task result plus the spans recorded while computing it."""
+
+    result: Any
+    spans: Tuple[Any, ...]
+
+
+def _traced_call(task: _TracedTask) -> _TaskSpans:
+    """Run one task under a fresh activation of the parent context.
+
+    The activation's sink starts empty in every process, so a forked
+    worker ships back only the spans *this* task recorded — never
+    state inherited from the parent — and the in-parent serial-retry
+    path behaves identically. Spans are dropped when ``fn`` raises;
+    the exception itself propagates unchanged.
+    """
+    with activate(task.ctx) as activation:
+        result = task.fn(task.item)
+    return _TaskSpans(result, tuple(activation.spans))
+
+
+def _adopt(wrapped: Any) -> Any:
+    if isinstance(wrapped, _TaskSpans):
+        extend_current(wrapped.spans)
+        return wrapped.result
+    return wrapped
 
 
 def _is_pool_failure(error: BaseException) -> bool:

@@ -1,0 +1,101 @@
+"""Unit tests for the benchmark regression gate
+(``benchmarks/check_regressions.py``).
+
+The gate is CI infrastructure, so its classification and comparison
+rules are pinned here: which keys are tracked, which direction is
+"worse", and where the noise floor sits.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent \
+    / "benchmarks" / "check_regressions.py"
+
+
+@pytest.fixture(scope="module")
+def gate():
+    # benchmarks/ is not a package; load the script as a module.
+    spec = importlib.util.spec_from_file_location(
+        "check_regressions", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestClassify:
+    def test_seconds_keys_are_lower_is_better(self, gate):
+        assert gate.classify("warm_p50_s") == "lower"
+        assert gate.classify("batched_s") == "lower"
+
+    def test_throughput_keys_are_higher_is_better(self, gate):
+        assert gate.classify("warm_throughput_rps") == "higher"
+        assert gate.classify("speedup_batched_over_cold") == "higher"
+
+    def test_counts_and_flags_are_untracked(self, gate):
+        for key in ("clients", "n_edges", "scoring_passes", "failed"):
+            assert gate.classify(key) is None
+
+
+class TestCompareMetrics:
+    def test_within_band_passes(self, gate):
+        old = {"warm_p50_s": 0.10, "warm_throughput_rps": 10.0}
+        new = {"warm_p50_s": 0.25, "warm_throughput_rps": 4.0}
+        bad, _ = gate.compare_metrics("b", old, new, tolerance=3.0)
+        assert bad == []
+
+    def test_slow_regression_trips(self, gate):
+        old = {"warm_p50_s": 0.10}
+        new = {"warm_p50_s": 0.31}
+        bad, _ = gate.compare_metrics("b", old, new, tolerance=3.0)
+        assert len(bad) == 1
+        assert "warm_p50_s" in bad[0]
+
+    def test_throughput_collapse_trips(self, gate):
+        old = {"warm_throughput_rps": 9.0}
+        new = {"warm_throughput_rps": 2.0}
+        bad, _ = gate.compare_metrics("b", old, new, tolerance=3.0)
+        assert len(bad) == 1
+
+    def test_untracked_keys_never_trip(self, gate):
+        old = {"n_edges": 150_000, "clients": 8}
+        new = {"n_edges": 10, "clients": 1}
+        bad, skipped = gate.compare_metrics("b", old, new, 3.0)
+        assert bad == [] and skipped == []
+
+    def test_noise_floor_skips_tiny_baselines(self, gate):
+        old = {"lookup_s": 0.0001}
+        new = {"lookup_s": 1.0}  # 10000x, but baseline is noise
+        bad, skipped = gate.compare_metrics("b", old, new, 3.0)
+        assert bad == []
+        assert any("noise floor" in line for line in skipped)
+
+    def test_missing_and_non_numeric_are_skipped(self, gate):
+        old = {"warm_p50_s": 0.10, "batched_s": "n/a"}
+        new = {"batched_s": 0.2}
+        bad, skipped = gate.compare_metrics("b", old, new, 3.0)
+        assert bad == []
+        assert len(skipped) == 2
+
+    def test_equal_values_pass_at_tolerance_one(self, gate):
+        old = {"warm_p50_s": 0.10, "warm_throughput_rps": 5.0}
+        bad, _ = gate.compare_metrics("b", old, dict(old), 1.0)
+        assert bad == []
+
+
+class TestMain:
+    def test_main_passes_against_committed_baselines(self, gate,
+                                                     capsys):
+        # The working tree's BENCH files vs HEAD's: identical unless
+        # a bench run just rewrote them, and then still within band
+        # on any sane machine. Mostly pins the git plumbing.
+        code = gate.main(["--tolerance", "1000.0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "BENCH_serve_load.json" in out
+
+    def test_tolerance_below_one_is_rejected(self, gate):
+        with pytest.raises(SystemExit):
+            gate.main(["--tolerance", "0.5"])

@@ -37,6 +37,13 @@ class TestExamplesRun:
         assert "good slot ok=True" in out
         assert "shutdown acknowledged: True" in out
 
+    def test_observe_request(self, capsys):
+        out = run_example("observe_request.py", capsys)
+        assert "trace id" in out
+        assert "stage durations:" in out
+        assert "metrics scrape (GET /v1/metrics):" in out
+        assert "shutdown acknowledged: True" in out
+
     def test_community_recovery(self, capsys):
         out = run_example("community_recovery.py", capsys)
         assert "NMI = 1.000" in out
