@@ -1,0 +1,139 @@
+"""Tier-2: the networked KV transport as a shared score cache.
+
+The acceptance scenario of the ``repro.net`` redesign: one process
+scores a paper-scale table into a ``kv://host:port`` store served by
+a *separate server process*; a second, completely cold client then
+requests the same plan and must
+
+* get a store-verified warm hit (zero scoring passes, zero misses),
+* materially beat recomputation (``>= 3x`` on the warm path), and
+* produce bit-identical scores to the in-memory transport.
+
+Wall-clock for the recompute/cold/warm phases plus the speedup land
+in ``BENCH_remote_kv.json`` for cross-session regression tracking.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+import numpy as np
+from conftest import REPO_ROOT, emit, record_bench
+
+from repro.flow import flow
+from repro.graph.edge_table import EdgeTable
+from repro.graph.ingest import write_edges
+from repro.pipeline import ScoreStore
+from repro.pipeline.backends import InMemoryKVServer, KVBackend
+from repro.util.tables import format_table
+
+#: Workload size: HSS scoring (shortest-path salience, the most
+#: compute-bound paper method) must dwarf one score round trip.
+N_NODES, N_EDGES = 600, 20_000
+
+#: Warm fetches timed (the steady-state remote-hit latency).
+N_WARM = 5
+
+
+def _write_workload(tmp_path):
+    rng = np.random.default_rng(23)
+    src = rng.integers(0, N_NODES, N_EDGES)
+    dst = rng.integers(0, N_NODES, N_EDGES)
+    weight = rng.integers(1, 500, N_EDGES).astype(float)
+    table = EdgeTable(src, dst, weight, n_nodes=N_NODES,
+                      directed=False)
+    path = tmp_path / "edges.npz"
+    write_edges(table, path)
+    return str(path)
+
+
+def _spawn_server():
+    """``(process, address)`` of a KV server in its own process."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep \
+        + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.net", "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env)
+    for _ in range(20):
+        line = process.stdout.readline()
+        if "listening on" in line:
+            return process, line.strip().rsplit(" ", 1)[-1]
+        if not line:
+            break
+    process.kill()
+    raise RuntimeError("KV server failed to start")
+
+
+def test_remote_warm_hit_beats_recompute(tmp_path):
+    path = _write_workload(tmp_path)
+    plan = flow(path).method("HSS").budget(share=0.1)
+
+    # Baseline 1: recompute from scratch (no store at all).
+    start = time.perf_counter()
+    recomputed = plan.run()
+    recompute_s = time.perf_counter() - start
+
+    # Baseline 2: the in-memory transport (the parity reference).
+    memory_store = ScoreStore(backend=KVBackend(InMemoryKVServer()))
+    via_memory = plan.run(store=memory_store)
+
+    process, address = _spawn_server()
+    try:
+        spec = f"kv://{address}"
+
+        # Cold pass: score once, stream the entries over the wire.
+        start = time.perf_counter()
+        cold_store = ScoreStore(spec)
+        cold = plan.run(store=cold_store)
+        cold_s = time.perf_counter() - start
+        assert cold_store.stats.misses >= 1
+        assert cold_store.stats.puts >= 1
+
+        # Warm passes: fresh client each time — every byte it knows
+        # arrives from the server process.
+        warm_samples = []
+        for _ in range(N_WARM):
+            warm_store = ScoreStore(spec)
+            start = time.perf_counter()
+            warm = plan.run(store=warm_store)
+            warm_samples.append(time.perf_counter() - start)
+            assert warm_store.stats.misses == 0, \
+                warm_store.stats.summary()
+            assert warm_store.stats.disk_hits >= 1
+        warm_s = min(warm_samples)
+    finally:
+        process.kill()
+        process.wait(timeout=10)
+
+    # Bit-identical across every path.
+    for other in (cold, warm, via_memory):
+        assert other.cache_key == recomputed.cache_key
+        assert np.array_equal(other.backbone.weight,
+                              recomputed.backbone.weight)
+        assert np.array_equal(other.backbone.src,
+                              recomputed.backbone.src)
+
+    speedup = recompute_s / warm_s
+    emit(format_table(
+        ("phase", "seconds"),
+        [("recompute (no store)", f"{recompute_s:.4f}"),
+         ("cold via kv:// (score + upload)", f"{cold_s:.4f}"),
+         ("warm via kv:// (best of "
+          f"{N_WARM})", f"{warm_s:.4f}")],
+        title=f"remote KV cache: {N_EDGES}-edge HSS scoring"))
+    emit(f"remote warm hit speedup over recompute: {speedup:.1f}x")
+
+    record_bench(
+        "remote_kv",
+        n_edges=N_EDGES, n_nodes=N_NODES,
+        recompute_s=round(recompute_s, 5),
+        cold_kv_s=round(cold_s, 5),
+        warm_hit_s=round(warm_s, 5),
+        warm_speedup=round(speedup, 2))
+
+    assert speedup >= 3.0, (
+        f"remote warm hit only {speedup:.1f}x faster than recompute "
+        f"({warm_s:.3f}s vs {recompute_s:.3f}s)")

@@ -49,7 +49,8 @@ from .core import (NoiseCorrectedBackbone, NoiseCorrectedPValue,
 from .evaluation import (average_stability, coverage,
                          predicted_vs_observed_variance, quality_ratio,
                          recovery_jaccard, stability_spearman)
-from .flow import FlowResult, Plan, flow, serve
+from .flow import (FlowResult, Plan, RemoteSource, flow,
+                   register_scheme, serve)
 from .generators import (SyntheticWorld, add_noise, barabasi_albert,
                          erdos_renyi_gnm, generate_occupation_study,
                          planted_partition)
@@ -75,6 +76,7 @@ __all__ = [
     "Partition",
     "Pipeline",
     "Plan",
+    "RemoteSource",
     "ScoreStore",
     "ScoredEdges",
     "SinkhornConvergenceError",
@@ -105,6 +107,7 @@ __all__ = [
     "read_edge_csv",
     "read_edges",
     "recovery_jaccard",
+    "register_scheme",
     "serve",
     "stability_spearman",
     "transformed_lift",

@@ -32,10 +32,15 @@ Examples
     python -m repro.cli cache stats .repro-cache
     python -m repro.cli cache gc .repro-cache --max-bytes 100000000
     python -m repro.cli cache migrate .repro-cache scores.sqlite
+    python -m repro.cli net serve --port 8711
+    python -m repro.cli net put 127.0.0.1:8711 edges.npz edges.npz
+    python -m repro.cli backbone kv://127.0.0.1:8711/edges.npz out.csv \
+        --cache-dir kv://127.0.0.1:8711
 
 Cache locations (``--cache-dir`` and the ``cache`` subcommands) accept
 a directory path, a ``.sqlite``/``.db`` file, or an explicit
-``sqlite://``/``dir://`` spec.
+``sqlite://``/``dir://``/``kv://host:port`` spec; input paths also
+accept ``http(s)://`` and ``kv://host:port/key`` source URLs.
 """
 
 from __future__ import annotations
@@ -223,6 +228,32 @@ def build_parser() -> argparse.ArgumentParser:
         "migrate", help="copy every entry into another backend")
     cache_migrate.add_argument("source", help="cache to copy from")
     cache_migrate.add_argument("dest", help="cache to copy into")
+
+    net = commands.add_parser(
+        "net",
+        help="run or talk to the shared socket KV server (kv://)")
+    net_commands = net.add_subparsers(dest="net_command", required=True)
+    net_serve = net_commands.add_parser(
+        "serve", help="start a KV server; share one warm cache across "
+                      "processes via --cache-dir kv://host:port")
+    net_serve.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default 127.0.0.1)")
+    net_serve.add_argument("--port", type=int, default=8711,
+                           help="bind port; 0 picks a free one "
+                                "(default 8711)")
+    net_stats = net_commands.add_parser(
+        "stats", help="print a running KV server's stats as JSON")
+    net_stats.add_argument("address",
+                           help="server address (kv://host:port or "
+                                "host:port)")
+    net_put = net_commands.add_parser(
+        "put", help="upload a file as a named object and print its "
+                    "kv:// URL (usable as a flow source)")
+    net_put.add_argument("address",
+                         help="server address (kv://host:port or "
+                              "host:port)")
+    net_put.add_argument("key", help="object key, e.g. edges.npz")
+    net_put.add_argument("file", help="local file to upload")
 
     serve = commands.add_parser(
         "serve",
@@ -601,6 +632,60 @@ def _cache_migrate(source, dest) -> int:
     return 0
 
 
+def _net_address(text: str):
+    """``(host, port)`` from ``kv://host:port`` or ``host:port``."""
+    address = text.partition("://")[2] if "://" in text else text
+    host, _, port_text = address.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise ValueError(f"bad KV address {text!r}; expected "
+                         "kv://host:port")
+    return host, int(port_text)
+
+
+def _run_net(args: argparse.Namespace) -> int:
+    import json
+
+    if args.net_command == "serve":
+        from .net.server import main as net_main
+
+        return net_main(["--host", args.host, "--port", str(args.port)])
+    try:
+        host, port = _net_address(args.address)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.net_command == "stats":
+        from .net import SocketKVTransport
+        from .pipeline.backends import KVError
+
+        transport = SocketKVTransport(host, port)
+        try:
+            stats = transport.request("stats")
+        except (OSError, KVError) as error:
+            print(f"no KV server at {host}:{port} ({error})",
+                  file=sys.stderr)
+            return 1
+        finally:
+            transport.close()
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    from .net import put_object
+    from .pipeline.backends import KVError
+
+    try:
+        url = put_object(f"kv://{host}:{port}", args.key, args.file)
+    except OSError as error:
+        print(f"error: cannot read {args.file}: {error}",
+              file=sys.stderr)
+        return 2
+    except KVError as error:
+        print(f"no KV server at {host}:{port} ({error})",
+              file=sys.stderr)
+        return 1
+    print(url)
+    return 0
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     import json
 
@@ -642,7 +727,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "info": _run_info, "convert": _run_convert,
                 "sweep": _run_sweep, "flow": _run_flow,
                 "obs": _run_obs, "cache": _run_cache,
-                "serve": _run_serve}
+                "net": _run_net, "serve": _run_serve}
     return handlers[args.command](args)
 
 

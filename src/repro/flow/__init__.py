@@ -31,11 +31,21 @@ JSON (``Plan.to_json`` / ``Plan.from_json``), making them shippable
 artifacts: ``repro flow run plan.json`` executes one, and
 ``repro backbone --explain`` prints the compiled form (source
 fingerprint, method config, cache key) without executing anything.
+
+Sources are pluggable by URL scheme (:mod:`repro.flow.sources`):
+``flow("http://…/edges.npz")`` and ``flow("kv://host:port/edges.npz")``
+fetch the bytes (ranged reads / digest-verified KV objects), spool
+them locally and fingerprint them exactly like a local file — so the
+score cache is shared between local and remote copies of the same
+table — and :func:`register_scheme` adds new schemes without touching
+this package.
 """
 
 from .compile import CompiledPlan, compile_plans
 from .plan import PLAN_SCHEMA_VERSION, Plan, flow
 from .serve import FlowResult, serve
+from .sources import (RemoteSource, register_scheme, registered_schemes,
+                      unregister_scheme)
 from .spec import (BUDGET_KEYS, CallableMetric, FileSource, FilterSpec,
                    MethodInstance, MethodSpec, MetricSpec,
                    PlanSerializationError, TableSource, as_metric,
@@ -55,13 +65,17 @@ __all__ = [
     "PLAN_SCHEMA_VERSION",
     "Plan",
     "PlanSerializationError",
+    "RemoteSource",
     "TableSource",
     "as_metric",
     "as_source",
     "compile_plans",
     "flow",
     "fold_sweep",
+    "register_scheme",
+    "registered_schemes",
     "run_sweep_plans",
     "serve",
     "sweep_plans",
+    "unregister_scheme",
 ]

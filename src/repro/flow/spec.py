@@ -5,13 +5,17 @@ each a small frozen object that *describes* work without doing any:
 
 * **source specs** — where the edge table comes from.
   :class:`FileSource` wraps a path (``.csv``, ``.csv.gz`` or ``.npz``;
-  ``file://`` URLs are accepted) plus its parse options and is
-  fingerprinted from the raw file bytes via
+  ``file://`` URLs and ``Path`` objects are accepted) plus its parse
+  options and is fingerprinted from the raw file bytes via
   :func:`repro.pipeline.fingerprint.fingerprint_file` — no parsing.
   :class:`TableSource` wraps an in-memory
   :class:`~repro.graph.edge_table.EdgeTable` and fingerprints its
-  content. Remote schemes (``s3://``, ``http://``) are rejected with a
-  pointer at the transport seam they will eventually plug into.
+  content. Other URL schemes route through the pluggable resolver
+  registry in :mod:`repro.flow.sources` — ``http(s)://`` and
+  ``kv://host:port/key`` ship with
+  :class:`~repro.flow.sources.RemoteSource` (fetch, spool,
+  fingerprint through the local-file path), and third parties add
+  schemes with :func:`~repro.flow.sources.register_scheme`.
 * :class:`MethodSpec` — a backbone method named by registry code plus
   constructor parameters (``MethodSpec.of("nc", delta=1.0)``; codes are
   case-insensitive). :class:`MethodInstance` wraps an already-built
@@ -37,6 +41,7 @@ is what makes plans shippable artifacts (``repro flow run plan.json``).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence, Tuple, Union
@@ -78,6 +83,8 @@ class FileSource:
     kind = "file"
 
     def __post_init__(self):
+        if isinstance(self.path, os.PathLike):
+            object.__setattr__(self, "path", os.fspath(self.path))
         require(isinstance(self.path, str) and self.path,
                 "FileSource needs a non-empty path")
 
@@ -139,37 +146,46 @@ def as_source(source, directed: bool = True, delimiter: str = ",",
               format: Optional[str] = None):
     """Coerce a user-facing source argument into a source spec.
 
-    Accepts an :class:`EdgeTable`, an existing source spec, a path, or
-    a ``file://`` URL. Remote schemes are rejected here — they belong
-    behind a real transport (the ``KVBackend`` seam), not a silent
-    download.
+    Accepts an :class:`EdgeTable`, an existing source spec (anything
+    with ``fingerprint()`` / ``resolve()`` / ``describe()``), a path
+    or ``Path``, or a URL whose scheme is registered in
+    :mod:`repro.flow.sources` (``file://``, ``http(s)://``,
+    ``kv://host:port/key`` out of the box). Unknown schemes raise a
+    ``ValueError`` that enumerates the registered ones.
     """
+    from .sources import is_source_spec, resolve_url
+
     if isinstance(source, (FileSource, TableSource)):
         return source
     if isinstance(source, EdgeTable):
         return TableSource(source)
-    if isinstance(source, Path):
-        source = str(source)
+    if isinstance(source, os.PathLike):
+        source = os.fspath(source)
+    if not isinstance(source, str) and is_source_spec(source):
+        return source
     require(isinstance(source, str),
             f"cannot build a flow source from {type(source).__name__}; "
-            "pass an EdgeTable, a path or a file:// URL")
+            "pass an EdgeTable, a path, a registered-scheme URL or a "
+            "source spec")
     if "://" in source:
-        scheme, _, rest = source.partition("://")
-        if scheme == "file":
-            source = rest
-        else:
-            raise ValueError(
-                f"unsupported source scheme {scheme!r}; only local "
-                "paths and file:// URLs are supported (remote sources "
-                "need an object-store transport, the KVBackend seam)")
+        return resolve_url(source, directed=directed,
+                           delimiter=delimiter, format=format)
     return FileSource(path=source, directed=directed, delimiter=delimiter,
                       format=format)
 
 
 def source_from_json(payload: Dict[str, object]):
-    """Inverse of ``FileSource.to_json``."""
-    require(isinstance(payload, dict) and payload.get("kind") == "file",
-            "plan JSON source must be a {'kind': 'file', ...} mapping")
+    """Inverse of ``FileSource.to_json`` / ``RemoteSource.to_json``."""
+    require(isinstance(payload, dict)
+            and payload.get("kind") in ("file", "remote"),
+            "plan JSON source must be a {'kind': 'file'|'remote', ...} "
+            "mapping")
+    if payload.get("kind") == "remote":
+        from .sources import RemoteSource
+        return RemoteSource(url=str(payload["url"]),
+                            directed=bool(payload.get("directed", True)),
+                            delimiter=str(payload.get("delimiter", ",")),
+                            format=payload.get("format"))
     return FileSource(path=str(payload["path"]),
                       directed=bool(payload.get("directed", True)),
                       delimiter=str(payload.get("delimiter", ",")),

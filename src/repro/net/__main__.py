@@ -1,0 +1,8 @@
+"""``python -m repro.net`` — run the socket KV server."""
+
+import sys
+
+from .server import main
+
+if __name__ == "__main__":
+    sys.exit(main())

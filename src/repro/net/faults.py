@@ -1,0 +1,209 @@
+"""Socket-level fault injection for the networked KV transport.
+
+:class:`ChaosProxy` sits between a :class:`SocketKVTransport` and a
+:class:`~repro.net.server.SocketKVServer` and misbehaves on cue, at
+the TCP layer — below everything the client can see — so tests
+exercise the exact failure modes real networks produce:
+
+- :class:`Drop` — accept the connection, then close it immediately
+  (reset-style: the client's next read sees EOF).
+- :class:`Stall` — accept and go silent, so the client burns its
+  full socket timeout.
+- :class:`Truncate` — proxy the exchange but forward only the first
+  N response bytes before closing (a frame cut off mid-payload).
+
+Behaviors are consumed one per *connection*, in order; once the
+scripted queue is empty the proxy forwards transparently. Because
+every fault kills the connection, the client re-dials for its next
+attempt and deterministically receives the next behavior — which is
+what makes "two drops then success → exactly two retries" assertable.
+
+This is the transport-layer sibling of the application-layer chaos
+harness in :mod:`repro.serve.faults` (worker kills, backend
+outages); together they cover the failure stack end to end.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Drop:
+    """Close the client connection as soon as it is accepted."""
+
+
+@dataclass(frozen=True)
+class Stall:
+    """Hold the accepted connection silent for ``seconds``."""
+
+    seconds: float = 30.0
+
+
+@dataclass(frozen=True)
+class Truncate:
+    """Forward only the first ``limit`` response bytes, then close."""
+
+    limit: int = 8
+
+
+class ChaosProxy:
+    """Scripted TCP proxy in front of a KV server.
+
+    Parameters
+    ----------
+    upstream:
+        ``(host, port)`` of the real server.
+    host, port:
+        Listen address; port ``0`` picks a free one (read ``.port``).
+    """
+
+    def __init__(self, upstream: Tuple[str, int],
+                 host: str = "127.0.0.1", port: int = 0):
+        self.upstream = upstream
+        self.host = host
+        self._behaviors: List[object] = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._listener = socket.socket(socket.AF_INET,
+                                       socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET,
+                                  socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._thread: Optional[threading.Thread] = None
+        self.connections = 0
+
+    @property
+    def port(self) -> int:
+        return self._listener.getsockname()[1]
+
+    def inject(self, *behaviors: object) -> None:
+        """Queue behaviors, one consumed per accepted connection."""
+        with self._lock:
+            self._behaviors.extend(behaviors)
+
+    def _next_behavior(self) -> Optional[object]:
+        with self._lock:
+            return self._behaviors.pop(0) if self._behaviors else None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ChaosProxy":
+        self._listener.listen(16)
+        self._listener.settimeout(0.1)
+        self._thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"repro-chaos-proxy:{self.port}", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # proxying
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            self.connections += 1
+            behavior = self._next_behavior()
+            threading.Thread(target=self._serve_one,
+                             args=(client, behavior),
+                             daemon=True).start()
+
+    def _serve_one(self, client: socket.socket,
+                   behavior: Optional[object]) -> None:
+        try:
+            if isinstance(behavior, Drop):
+                return
+            if isinstance(behavior, Stall):
+                deadline = time.monotonic() + behavior.seconds
+                while time.monotonic() < deadline \
+                        and not self._stop.is_set():
+                    time.sleep(0.01)
+                return
+            limit = behavior.limit if isinstance(behavior, Truncate) \
+                else None
+            self._pipe(client, limit)
+        finally:
+            try:
+                client.close()
+            except OSError:
+                pass
+
+    def _pipe(self, client: socket.socket,
+              response_limit: Optional[int]) -> None:
+        """Forward both directions, capping server→client bytes."""
+        try:
+            upstream = socket.create_connection(self.upstream,
+                                                timeout=5.0)
+        except OSError:
+            return
+        done = threading.Event()
+
+        def forward_requests() -> None:
+            try:
+                while not done.is_set():
+                    chunk = client.recv(1 << 16)
+                    if not chunk:
+                        break
+                    upstream.sendall(chunk)
+            except OSError:
+                pass
+            finally:
+                try:
+                    upstream.shutdown(socket.SHUT_WR)
+                except OSError:
+                    pass
+
+        pump = threading.Thread(target=forward_requests, daemon=True)
+        pump.start()
+        sent = 0
+        try:
+            while True:
+                chunk = upstream.recv(1 << 16)
+                if not chunk:
+                    break
+                if response_limit is not None:
+                    chunk = chunk[:max(0, response_limit - sent)]
+                    if not chunk:
+                        break
+                client.sendall(chunk)
+                sent += len(chunk)
+                if response_limit is not None \
+                        and sent >= response_limit:
+                    break
+        except OSError:
+            pass
+        finally:
+            done.set()
+            try:
+                upstream.close()
+            except OSError:
+                pass

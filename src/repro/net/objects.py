@@ -1,0 +1,92 @@
+"""Whole-file objects (edge tables, artifacts) in a KV store.
+
+Score entries are not the only thing worth sharing over the wire:
+``flow("kv://host:port/edges.npz")`` needs the *input table* itself
+to live server-side. These helpers store a file as one KV record —
+metadata carries the name, byte count and SHA-256; the payload is
+the raw bytes — and fetch it back with the digest verified end to
+end, reusing the full ``KVBackend`` retry/timeout machinery.
+
+Objects share the keyspace with score entries but use their own
+``schema`` tag, so a score lookup that collides with an object key
+decodes as a schema mismatch (a miss), never as corrupt data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Union
+
+from ..pipeline.backends import RawEntry, StoreBackend, open_backend
+
+#: Schema tag distinguishing object records from score entries.
+OBJECT_SCHEMA = "repro.net.object/v1"
+
+
+class ObjectIntegrityError(Exception):
+    """Fetched object bytes do not match the stored digest."""
+
+
+def _resolve(target: Union[str, Path, StoreBackend]):
+    """``(backend, owned)`` — ``owned`` means we opened it here."""
+    if isinstance(target, StoreBackend):
+        return target, False
+    return open_backend(target), True
+
+
+def put_object(target: Union[str, Path, StoreBackend], key: str,
+               path: Union[str, Path]) -> str:
+    """Upload ``path`` under ``key``; returns a fetchable URL.
+
+    ``target`` is a backend spec (``kv://host:port``) or an open
+    backend. The returned URL (``kv://host:port/<key>``) feeds
+    straight into ``flow(...)``; for backends without a network spec
+    the bare key is returned instead.
+    """
+    data = Path(path).read_bytes()
+    meta = {
+        "schema": OBJECT_SCHEMA,
+        "key": key,
+        "object": {
+            "name": Path(path).name,
+            "bytes": len(data),
+            "sha256": hashlib.sha256(data).hexdigest(),
+        },
+    }
+    backend, owned = _resolve(target)
+    try:
+        backend.put(key, RawEntry(meta=meta, payload=data))
+        spec = backend.spec()
+    finally:
+        if owned:
+            backend.close()
+    if spec and spec.startswith("kv://"):
+        return f"{spec.partition('?')[0].rstrip('/')}/{key}"
+    return key
+
+
+def get_object(target: Union[str, Path, StoreBackend],
+               key: str) -> bytes:
+    """Fetch the object stored under ``key``, digest-verified.
+
+    Raises ``KeyError`` when the key is absent or holds a non-object
+    record, :class:`ObjectIntegrityError` when the bytes do not hash
+    to the digest recorded at upload.
+    """
+    backend, owned = _resolve(target)
+    try:
+        entry = backend.get(key, touch=True)
+    finally:
+        if owned:
+            backend.close()
+    if entry is None or entry.meta.get("schema") != OBJECT_SCHEMA:
+        raise KeyError(f"no object stored under {key!r}")
+    payload = entry.payload or b""
+    expected = entry.meta.get("object", {}).get("sha256")
+    actual = hashlib.sha256(payload).hexdigest()
+    if expected != actual:
+        raise ObjectIntegrityError(
+            f"object {key!r} digest mismatch (stored {expected!r}, "
+            f"fetched {actual})")
+    return payload

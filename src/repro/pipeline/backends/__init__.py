@@ -14,8 +14,12 @@ the CLI ``--cache-dir`` flag and ``repro cache`` commands)::
     scores.sqlite             single WAL-mode SQLite file (by suffix)
     sqlite://path/to/scores   same, explicit
     kv://                     fresh in-memory KV client (testing)
+    kv://host:port            networked KV server (see repro.net)
 
-See :mod:`repro.pipeline.backends.base` for the interface contract and
+The spec-string grammar lives in one place —
+:func:`~repro.pipeline.backends.spec.parse_spec` — shared by
+``ScoreStore``, worker reconnection and the CLI. See
+:mod:`repro.pipeline.backends.base` for the interface contract and
 the shared GC machinery.
 """
 
@@ -28,39 +32,35 @@ from .codec import (EntryCorrupt, EntryDecodeError, EntryEncodeError,
                     NegativeEntry, SchemaMismatch, decode_entry,
                     encode_negative, encode_scored)
 from .directory import DirectoryBackend
-from .kv import (InMemoryKVServer, KVBackend, KVTimeoutError,
-                 KVTransientError, KVUnavailableError)
+from .kv import (InMemoryKVServer, KVBackend, KVError,
+                 KVTimeoutError, KVTransientError,
+                 KVUnavailableError)
+from .spec import (BACKEND_SCHEMES, SQLITE_SUFFIXES, BackendSpec,
+                   build_backend, parse_spec)
 from .sqlite import SQLiteBackend
-
-#: File suffixes routed to :class:`SQLiteBackend` by :func:`open_backend`.
-SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
 
 
 def open_backend(target: Union[str, Path, StoreBackend]) -> StoreBackend:
     """Resolve a backend instance or spec string to a backend.
 
-    Accepts an existing :class:`StoreBackend` (returned as-is), an
-    explicit ``dir://``, ``sqlite://`` or ``kv://`` spec, a path with a
-    SQLite suffix (``.sqlite``, ``.sqlite3``, ``.db``), or any other
-    path (treated as an entry directory).
+    Accepts an existing :class:`StoreBackend` (returned as-is) or
+    anything :func:`~repro.pipeline.backends.spec.parse_spec`
+    understands: an explicit ``dir://``, ``sqlite://`` or ``kv://``
+    spec (``kv://host:port`` dials a :mod:`repro.net` socket server),
+    a path with a SQLite suffix (``.sqlite``, ``.sqlite3``, ``.db``),
+    or any other path (treated as an entry directory).
     """
     if isinstance(target, StoreBackend):
         return target
-    text = str(target)
-    if text.startswith("sqlite://"):
-        return SQLiteBackend(text[len("sqlite://"):])
-    if text.startswith("dir://"):
-        return DirectoryBackend(text[len("dir://"):])
-    if text.startswith("kv://"):
-        return KVBackend()
-    if Path(text).suffix.lower() in SQLITE_SUFFIXES:
-        return SQLiteBackend(text)
-    return DirectoryBackend(text)
+    return build_backend(parse_spec(target))
 
 
 __all__ = [
+    "BACKEND_SCHEMES",
     "BackendCorruption",
+    "BackendSpec",
     "BackendStats",
+    "build_backend",
     "DirectoryBackend",
     "EntryCorrupt",
     "EntryDecodeError",
@@ -70,6 +70,7 @@ __all__ = [
     "GCResult",
     "InMemoryKVServer",
     "KVBackend",
+    "KVError",
     "KVTimeoutError",
     "KVTransientError",
     "KVUnavailableError",
@@ -83,5 +84,6 @@ __all__ = [
     "encode_negative",
     "encode_scored",
     "open_backend",
+    "parse_spec",
     "run_gc",
 ]

@@ -144,7 +144,38 @@ class KVBackend(StoreBackend):
         self._sleep = sleep
 
     def describe(self) -> str:
-        return f"kv ({type(self.transport).__name__})"
+        address = self._transport_address()
+        suffix = f", {address}" if address else ""
+        return f"kv ({type(self.transport).__name__}{suffix})"
+
+    def _transport_address(self) -> Optional[str]:
+        """``kv://host:port`` when the transport has a dialable one."""
+        spec = getattr(self.transport, "spec", None)
+        return spec() if callable(spec) else None
+
+    def spec(self) -> Optional[str]:
+        """Worker-reconnectable spec, or ``None`` for process-local.
+
+        A transport that advertises an address (``SocketKVTransport``
+        does) makes this backend reopenable from another process, so
+        the full client configuration — timeout, attempt budget,
+        backoff — is serialized with it and
+        :func:`~repro.pipeline.backends.open_backend` reconstructs an
+        identical client. The in-memory transport stays ``None``:
+        its dict dies with this process and workers must ship results
+        back instead of "reconnecting" to a private empty cache.
+        """
+        address = self._transport_address()
+        if not address:
+            return None
+        return (f"{address}?attempts={self.max_attempts}"
+                f"&retry_wait={self.retry_wait:g}"
+                f"&timeout={self.timeout:g}")
+
+    def close(self) -> None:
+        close = getattr(self.transport, "close", None)
+        if callable(close):
+            close()
 
     def _call(self, op: str, key: Optional[str] = None,
               value: Optional[Dict[str, object]] = None):

@@ -1,8 +1,29 @@
-"""Shared fixtures: one small synthetic world reused across test modules."""
+"""Shared fixtures: one small synthetic world reused across test
+modules, plus the out-of-process socket KV server fixture (the
+subprocess harness itself lives in ``net_harness.py``)."""
+
+import subprocess
 
 import pytest
+from net_harness import spawn_kv_server
 
 from repro.generators import SyntheticWorld, generate_occupation_study
+
+
+@pytest.fixture(scope="session")
+def socket_kv_server():
+    """``(host, port)`` of one shared testing-mode server subprocess.
+
+    Tests that share it must isolate themselves with the ``flush``
+    testing op (the backend parity harness does).
+    """
+    process, host, port = spawn_kv_server(testing=True)
+    yield (host, port)
+    process.terminate()
+    try:
+        process.wait(timeout=10)
+    except subprocess.TimeoutExpired:
+        process.kill()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,45 @@
+"""Out-of-process socket KV server harness shared across test modules.
+
+Lives in its own module (not ``conftest``) so test files can import
+it by name: ``conftest`` is ambiguous in a whole-repo pytest run,
+where ``benchmarks/conftest.py`` competes for the same module slot.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def spawn_kv_server(testing: bool = False, port: int = 0):
+    """Start ``python -m repro.net`` as a real subprocess.
+
+    Returns ``(process, host, port)``; the bound port is read from
+    the server's startup line on stdout.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_SRC) + os.pathsep \
+        + env.get("PYTHONPATH", "")
+    command = [sys.executable, "-m", "repro.net",
+               "--port", str(port)]
+    if testing:
+        command.append("--testing")
+    process = subprocess.Popen(command, stdout=subprocess.PIPE,
+                               stderr=subprocess.STDOUT, text=True,
+                               env=env)
+    for _ in range(20):  # skip interpreter warnings, find the banner
+        line = process.stdout.readline()
+        if "listening on" in line:
+            break
+        if not line:
+            break
+    else:
+        line = ""
+    if "listening on" not in line:
+        process.kill()
+        raise RuntimeError(f"KV server failed to start: {line!r}")
+    address = line.strip().rsplit(" ", 1)[-1]
+    host, _, port_text = address.rpartition(":")
+    return process, host, int(port_text)

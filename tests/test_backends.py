@@ -1,15 +1,23 @@
 """Parity suite for the pluggable ScoreStore backends.
 
 Every backend — the content-addressed directory, the single-file
-SQLite store and the remote-style KV client — must behave identically
-through the :class:`ScoreStore` contract: bit-identical
-``ScoredEdges`` round-trips, corrupt/tampered entries quarantined and
-recomputed (never served), negative results persisted and re-raised,
-LRU garbage collection enforcing byte/entry/age bounds, and raw
+SQLite store, the remote-style KV client over the in-memory
+transport, and the same client over a real socket to a server
+*subprocess* — must behave identically through the
+:class:`ScoreStore` contract: bit-identical ``ScoredEdges``
+round-trips, corrupt/tampered entries quarantined and recomputed
+(never served), negative results persisted and re-raised, LRU
+garbage collection enforcing byte/entry/age bounds, and raw
 ``migrate`` moves preserving entries exactly. The scenarios below run
-once per backend via the ``store_kind`` fixture, plus backend-specific
+once per backend via the ``harness`` fixture, plus backend-specific
 checks (KV retry/timeout semantics, directory format compatibility
 with caches written before backends existed).
+
+The socket kind drives the server's testing ops (``flush`` for
+per-test isolation, ``set_clock`` for LRU manipulation,
+``debug_set_payload`` for corruption) across the process boundary,
+so the exact same clock-twiddling scenarios run against a cache that
+genuinely lives in another process.
 """
 
 import json
@@ -24,6 +32,7 @@ from repro.backbones.high_salience import HighSalienceSkeleton
 from repro.backbones.naive import NaiveThreshold
 from repro.core.noise_corrected import NoiseCorrectedBackbone
 from repro.graph.edge_table import EdgeTable
+from repro.net import SocketKVTransport
 from repro.pipeline import GCPolicy, NegativeEntry, ScoreStore
 from repro.pipeline.backends import (DirectoryBackend, InMemoryKVServer,
                                      KVBackend, KVTransientError,
@@ -32,7 +41,7 @@ from repro.pipeline.backends import (DirectoryBackend, InMemoryKVServer,
                                      decode_entry, encode_scored,
                                      open_backend, run_gc)
 
-BACKEND_KINDS = ("directory", "sqlite", "kv")
+BACKEND_KINDS = ("directory", "sqlite", "kv", "socket")
 
 
 def random_scored(seed: int, method=None) -> ScoredEdges:
@@ -64,14 +73,39 @@ def assert_scored_identical(a: ScoredEdges, b: ScoredEdges) -> None:
 class BackendHarness:
     """Uniform make/reopen/corrupt operations over one backend kind."""
 
-    def __init__(self, kind: str, tmp_path):
+    def __init__(self, kind: str, tmp_path, socket_address=None):
         self.kind = kind
         self.tmp_path = tmp_path
-        self.clock_value = 1_000.0
+        self._clock_value = 1_000.0
         self.server = InMemoryKVServer(clock=self.clock)
+        self._control = None
+        if kind == "socket":
+            host, port = socket_address
+            self.socket_address = (host, port)
+            # Control channel for the server's testing ops; flushing
+            # isolates this test from whoever shared the server.
+            self._control = SocketKVTransport(host, port, timeout=5.0)
+            self._control.request("flush")
+            self._push_clock()
 
     def clock(self):
-        return self.clock_value
+        return self._clock_value
+
+    @property
+    def clock_value(self):
+        return self._clock_value
+
+    @clock_value.setter
+    def clock_value(self, value):
+        # LRU tests steer time; the socket server's clock lives in
+        # another process and is steered over the wire.
+        self._clock_value = value
+        if self._control is not None:
+            self._push_clock()
+
+    def _push_clock(self):
+        self._control.request("set_clock",
+                              value={"value": self._clock_value})
 
     def make(self):
         if self.kind == "directory":
@@ -80,24 +114,34 @@ class BackendHarness:
         if self.kind == "sqlite":
             return SQLiteBackend(self.tmp_path / "cache.sqlite",
                                  clock=self.clock)
+        if self.kind == "socket":
+            host, port = self.socket_address
+            return KVBackend(SocketKVTransport(host, port, timeout=5.0))
         return KVBackend(transport=self.server)
 
     def reopen(self):
-        """A second client over the same stored data."""
+        """A second client over the same stored data (for the socket
+        kind: a genuinely separate connection)."""
         return self.make()
 
-    def corrupt_payload(self, backend, key):
-        """Damage the stored arrays at the raw level."""
+    def _overwrite_payload(self, backend, key, payload):
         if self.kind == "directory":
             npz_path, _ = backend._paths(key)
-            npz_path.write_bytes(b"garbage")
+            npz_path.write_bytes(payload)
         elif self.kind == "sqlite":
             with backend._conn:
                 backend._conn.execute(
                     "UPDATE entries SET payload = ? WHERE key = ?",
-                    (b"garbage", key))
+                    (payload, key))
+        elif self.kind == "socket":
+            self._control.request("debug_set_payload", key=key,
+                                  value={"payload": payload})
         else:
-            self.server.data[key]["payload"] = b"garbage"
+            self.server.data[key]["payload"] = payload
+
+    def corrupt_payload(self, backend, key):
+        """Damage the stored arrays at the raw level."""
+        self._overwrite_payload(backend, key, b"garbage")
 
     def tamper_scores(self, backend, key):
         """Replace the payload with a valid npz of perturbed scores,
@@ -110,21 +154,18 @@ class BackendHarness:
                                info=scored.info)
         fake = encode_scored(key, poisoned)
         # Keep the *old* metadata (and digest) with the new payload.
-        if self.kind == "directory":
-            npz_path, _ = backend._paths(key)
-            npz_path.write_bytes(fake.payload)
-        elif self.kind == "sqlite":
-            with backend._conn:
-                backend._conn.execute(
-                    "UPDATE entries SET payload = ? WHERE key = ?",
-                    (fake.payload, key))
-        else:
-            self.server.data[key]["payload"] = fake.payload
+        self._overwrite_payload(backend, key, fake.payload)
+
+
+def make_harness(kind, tmp_path, request):
+    address = request.getfixturevalue("socket_kv_server") \
+        if kind == "socket" else None
+    return BackendHarness(kind, tmp_path, socket_address=address)
 
 
 @pytest.fixture(params=BACKEND_KINDS)
 def harness(request, tmp_path):
-    return BackendHarness(request.param, tmp_path)
+    return make_harness(request.param, tmp_path, request)
 
 
 class TestBackendParity:
@@ -319,9 +360,10 @@ class TestMigrate:
             dest.put(key, source.get(key, touch=False))
 
     @pytest.mark.parametrize("dest_kind", BACKEND_KINDS)
-    def test_migrate_preserves_entries_exactly(self, tmp_path, dest_kind):
+    def test_migrate_preserves_entries_exactly(self, tmp_path, dest_kind,
+                                               request):
         source, originals = self._populated(tmp_path)
-        dest = BackendHarness(dest_kind, tmp_path).make()
+        dest = make_harness(dest_kind, tmp_path, request).make()
         self._migrate(source, dest)
         assert sorted(dest.keys()) == sorted(source.keys())
         migrated = ScoreStore(backend=dest)

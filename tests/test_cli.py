@@ -363,3 +363,53 @@ class TestInfoCommand:
         with pytest.raises(SystemExit):
             main(["backbone", str(edges_csv), str(tmp_path / "o.csv"),
                   "--method", "XYZ"])
+
+
+class TestNetCommand:
+    def test_put_stats_and_kv_source_backbone(self, edges_csv,
+                                              tmp_path, capsys):
+        import json
+
+        from repro.net import SocketKVServer
+
+        with SocketKVServer() as server:
+            address = f"127.0.0.1:{server.port}"
+            assert main(["net", "put", address, "edges.csv",
+                         str(edges_csv)]) == 0
+            url = capsys.readouterr().out.strip()
+            assert url == f"kv://{address}/edges.csv"
+
+            assert main(["net", "stats", f"kv://{address}"]) == 0
+            stats = json.loads(capsys.readouterr().out)
+            assert stats["entries"] == 1
+
+            out = tmp_path / "backbone.csv"
+            assert main(["backbone", url, str(out), "--method", "NC",
+                         "--delta", "1.0",
+                         "--cache-dir", f"kv://{address}"]) == 0
+            remote = read_edge_csv(out, directed=False)
+            local_out = tmp_path / "local.csv"
+            assert main(["backbone", str(edges_csv), str(local_out),
+                         "--method", "NC", "--delta", "1.0"]) == 0
+            local = read_edge_csv(local_out, directed=False)
+            assert remote.m == local.m
+            assert np.array_equal(remote.weight, local.weight)
+
+    def test_down_server_reports_cleanly(self, edges_csv, capsys):
+        assert main(["net", "stats", "kv://127.0.0.1:1"]) == 1
+        assert "no KV server" in capsys.readouterr().err
+        assert main(["net", "put", "127.0.0.1:1", "k",
+                     str(edges_csv)]) == 1
+        assert "no KV server" in capsys.readouterr().err
+
+    def test_bad_address_rejected(self, edges_csv, capsys):
+        assert main(["net", "stats", "not-an-address"]) == 2
+        assert "bad KV address" in capsys.readouterr().err
+
+    def test_missing_upload_file_reports(self, tmp_path, capsys):
+        from repro.net import SocketKVServer
+
+        with SocketKVServer() as server:
+            assert main(["net", "put", f"127.0.0.1:{server.port}",
+                         "k", str(tmp_path / "nope.csv")]) == 2
+        assert "cannot read" in capsys.readouterr().err
