@@ -1,0 +1,175 @@
+"""Tier-2 perf smoke: out-of-core streaming scoring (ISSUE 9).
+
+Two claims, both against raw-dump scale inputs (the paper's Section
+V-G scalability regime):
+
+* **bit identity** — ``flow(npz, streaming=True)`` produces the exact
+  bytes of the in-memory path on a millions-of-rows table, for every
+  streamable method;
+* **bounded memory** — a subprocess scoring a table ~4x larger than
+  the RSS cap stays under the cap: peak RSS is O(nodes + block +
+  backbone), not O(edges). The peak lands in ``BENCH_streaming.json``
+  as
+  ``stream_peak_rss_bytes`` and is gated by
+  ``check_regressions.py`` (lower is better, 3x band).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from conftest import emit, record_bench
+
+from repro.flow import flow
+from repro.util.tables import format_table
+from repro.util.timing import time_call
+
+#: Complete-bipartite generator shape for the RSS probe:
+#: RSS_SRC x RSS_DST unique sorted pairs = 40M rows, ~960 MB on disk.
+RSS_SRC, RSS_DST = 8_000, 5_000
+
+#: The streamed peak must stay under table_bytes / RSS_FACTOR.
+RSS_FACTOR = 4
+
+#: Identity-check table: 2M rows, every streamable method.
+ID_SRC, ID_DST = 1_000, 2_000
+
+#: Stream geometry for the RSS probe subprocess.
+BLOCK_ROWS = 131_072
+RUN_ROWS = 262_144
+
+_PROBE = """\
+import json, resource, sys
+from repro.flow import flow
+
+result = (flow(sys.argv[1], streaming=True).method("NC")
+          .budget(share=0.01).run())
+
+
+def peak_rss_bytes():
+    # Linux ru_maxrss survives fork+exec (it would report the parent
+    # bench process, generator arrays and all); VmHWM is per-process.
+    try:
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(peak) * (1 if sys.platform == "darwin" else 1024)
+
+
+print(json.dumps({"peak_rss_bytes": peak_rss_bytes(),
+                  "kept_m": int(result.backbone.m),
+                  "base_m": int(result.base.m)}))
+"""
+
+
+def _write_bipartite_npz(path, n_src, n_dst, seed=0):
+    """A canonical directed dump written without an EdgeTable.
+
+    ``n_src x n_dst`` unique (src, dst) pairs in canonical order —
+    ``np.savez`` with the exact member set ``write_edge_npz`` uses —
+    so the generator never holds more than the three columns.
+    """
+    m = n_src * n_dst
+    rng = np.random.default_rng(seed)
+    arrays = {
+        "format": np.array(1, dtype=np.int64),
+        "src": np.repeat(np.arange(n_src, dtype=np.int64), n_dst),
+        "dst": np.tile(np.arange(n_src, n_src + n_dst,
+                                 dtype=np.int64), n_src),
+        "weight": rng.integers(1, 1_000, m).astype(np.float64),
+        "n_nodes": np.array(n_src + n_dst, dtype=np.int64),
+        "directed": np.array(True, dtype=np.bool_),
+    }
+    with open(path, "wb") as handle:
+        np.savez(handle, **arrays)
+    return path.stat().st_size
+
+
+def test_streaming_bit_identity_at_scale(benchmark, tmp_path):
+    npz = tmp_path / "ident.npz"
+    _write_bipartite_npz(npz, ID_SRC, ID_DST, seed=1)
+
+    def run():
+        timings = {}
+        pairs = {}
+        for code, budget in (("NC", {"share": 0.1}),
+                             ("NCp", {"share": 0.1}),
+                             ("DF", {"share": 0.1}),
+                             ("NT", {"n_edges": 50_000})):
+            mem_s, mem = time_call(
+                lambda: flow(str(npz), streaming=False).method(code)
+                .budget(**budget).run())
+            stream_s, streamed = time_call(
+                lambda: flow(str(npz), streaming=True).method(code)
+                .budget(**budget).run())
+            timings[code] = (mem_s, stream_s)
+            pairs[code] = (mem, streamed)
+        return timings, pairs
+
+    timings, pairs = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for code, (mem, streamed) in pairs.items():
+        got, want = streamed.backbone, mem.backbone
+        assert got.src.tobytes() == want.src.tobytes(), code
+        assert got.dst.tobytes() == want.dst.tobytes(), code
+        assert got.weight.tobytes() == want.weight.tobytes(), code
+        assert got.m > 0
+
+    rows = [(code, f"{mem_s:.3f}", f"{stream_s:.3f}")
+            for code, (mem_s, stream_s) in timings.items()]
+    emit(format_table(
+        ["method", "in-memory s", "streamed s"], rows,
+        title=f"Streaming bit identity: {ID_SRC * ID_DST:,} rows"))
+    record_bench(
+        "streaming",
+        identity_in_memory_s=round(timings["NC"][0], 6),
+        identity_streamed_s=round(timings["NC"][1], 6))
+
+
+def test_streaming_peak_rss_bounded(benchmark, tmp_path):
+    npz = tmp_path / "huge.npz"
+    table_bytes = _write_bipartite_npz(npz, RSS_SRC, RSS_DST, seed=2)
+    rss_cap = table_bytes // RSS_FACTOR
+
+    def run():
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(Path(__file__).resolve().parent.parent / "src")]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+        env["REPRO_STREAM_BLOCK_ROWS"] = str(BLOCK_ROWS)
+        env["REPRO_STREAM_RUN_ROWS"] = str(RUN_ROWS)
+        probe = subprocess.run(
+            [sys.executable, "-c", _PROBE, str(npz)],
+            capture_output=True, text=True, env=env, check=True)
+        return json.loads(probe.stdout)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    peak = report["peak_rss_bytes"]
+
+    emit(format_table(
+        ["quantity", "bytes"],
+        [("table on disk", f"{table_bytes:,}"),
+         (f"RSS cap (table/{RSS_FACTOR})", f"{rss_cap:,}"),
+         ("streamed peak RSS", f"{peak:,}")],
+        title=f"Streaming peak RSS: {RSS_SRC * RSS_DST:,}-row table"))
+    record_bench(
+        "streaming",
+        stream_peak_rss_bytes=peak,
+        rss_cap_bytes=rss_cap,
+        table_bytes=table_bytes,
+        table_over_peak_ratio=round(table_bytes / peak, 2))
+
+    assert report["kept_m"] > 0
+    assert report["base_m"] == RSS_SRC * RSS_DST
+    assert peak <= rss_cap, (
+        f"streamed peak RSS {peak:,} exceeds the cap {rss_cap:,} "
+        f"(table is {table_bytes:,} bytes; streaming must stay "
+        f"O(nodes + block + backbone))")

@@ -17,11 +17,12 @@ a microbenchmark referee.
 Metric classification, by key name:
 
 - **lower is better** — keys ending in ``_s`` (wall-clock seconds:
-  latency percentiles, phase timings). Baselines under
-  ``MIN_SECONDS`` are skipped: timer noise dominates there.
+  latency percentiles, phase timings) and keys ending in ``_bytes``
+  (peak RSS, cache footprints). Baselines under ``MIN_SECONDS`` /
+  ``MIN_BYTES`` are skipped: noise dominates there.
 - **higher is better** — keys containing ``speedup`` or
   ``throughput``, or ending in ``_rps``.
-- everything else (counts, sizes, flags) is ignored.
+- everything else (counts, flags) is ignored.
 
 Run:  python benchmarks/check_regressions.py [--tolerance 3.0]
 """
@@ -41,14 +42,24 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: they are reported as skipped instead of gated.
 MIN_SECONDS = 0.005
 
+#: Byte baselines below this are allocator jitter, not a footprint.
+MIN_BYTES = 1 << 20
+
 
 def classify(key: str) -> Optional[str]:
     """``"lower"``, ``"higher"`` or ``None`` (untracked) for a key."""
     if "speedup" in key or "throughput" in key or key.endswith("_rps"):
         return "higher"
-    if key.endswith("_s"):
+    if key.endswith("_s") or key.endswith("_bytes"):
         return "lower"
     return None
+
+
+def _noise_floor(key: str) -> Tuple[float, str]:
+    """(minimum gated baseline, unit suffix) for a lower-is-better key."""
+    if key.endswith("_bytes"):
+        return MIN_BYTES, "B"
+    return MIN_SECONDS, "s"
 
 
 def compare_metrics(name: str, old: Dict[str, object],
@@ -76,9 +87,10 @@ def compare_metrics(name: str, old: Dict[str, object],
             skipped.append(f"{name}.{key}: non-numeric")
             continue
         if direction == "lower":
-            if old_value < MIN_SECONDS:
+            floor, unit = _noise_floor(key)
+            if old_value < floor:
                 skipped.append(f"{name}.{key}: baseline "
-                               f"{old_value:g}s below noise floor")
+                               f"{old_value:g}{unit} below noise floor")
                 continue
             if new_value > old_value * tolerance:
                 regressions.append(

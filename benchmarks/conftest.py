@@ -24,6 +24,11 @@ import sys
 import time
 from pathlib import Path
 
+try:
+    import resource
+except ImportError:  # pragma: no cover - Windows has no getrusage
+    resource = None
+
 import pytest
 
 from repro.generators import SyntheticWorld, generate_occupation_study
@@ -96,10 +101,31 @@ def pytest_runtest_makereport(item, call):
         _payload_for(name)["metrics"]["failed"] = True
 
 
+def max_rss_bytes():
+    """Peak RSS of this process and its reaped children, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; children
+    are included so subprocess-heavy benchmarks (worker fan-out,
+    streaming RSS probes) report the true peak, not just the pytest
+    process. ``None`` where ``resource`` is unavailable.
+    """
+    if resource is None:  # pragma: no cover
+        return None
+    peak = max(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+               resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+    unit = 1 if sys.platform == "darwin" else 1024
+    return int(peak) * unit
+
+
 def pytest_sessionfinish(session, exitstatus):
     for name, payload in _RESULTS.items():
         if not payload["timings_s"] and not payload["metrics"]:
             continue
+        peak = max_rss_bytes()
+        if peak is not None:
+            # Session-wide peak; benchmarks gating a tighter bound
+            # record their own *_bytes metrics via record_bench.
+            payload["metrics"].setdefault("max_rss_bytes", peak)
         out = {"bench": name,
                "recorded_unix": round(time.time(), 3),
                "argv": " ".join(sys.argv[:4]),

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import csv
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -57,6 +58,9 @@ from .graph.metrics import density
 
 #: Methods whose configuration takes the --delta strictness knob.
 _DELTA_CODES = ("NC", "NCp")
+
+#: --streaming choice -> the flow() knob.
+_STREAMING_MODES = {"auto": "auto", "always": True, "never": False}
 
 _FORMAT_EPILOG = """\
 file formats (detected from the suffix on every subcommand):
@@ -97,6 +101,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="keep this share of edges (0..1)")
     group.add_argument("--n-edges", type=int,
                        help="keep exactly this many edges")
+    backbone.add_argument("--streaming", default="auto",
+                          choices=("auto", "always", "never"),
+                          help="out-of-core scoring: 'always' streams "
+                               "the file in O(nodes) memory (NC/NCp/DF/"
+                               "NT only), 'never' loads it whole, "
+                               "'auto' streams supported methods above "
+                               "a size threshold (default auto)")
     backbone.add_argument("--cache-dir",
                           help="scored-table cache location (directory, "
                                ".sqlite file or spec); repeated "
@@ -132,6 +143,12 @@ def build_parser() -> argparse.ArgumentParser:
     convert.add_argument("--directed", action="store_true",
                          help="treat csv input as directed (.npz "
                               "input carries its own directedness)")
+    convert.add_argument("--streaming", default="auto",
+                         choices=("auto", "always", "never"),
+                         help="out-of-core conversion to .npz in "
+                              "O(nodes) memory: 'always' requires an "
+                              ".npz output, 'auto' streams above a "
+                              "size threshold (default auto)")
 
     sweep = commands.add_parser(
         "sweep",
@@ -319,8 +336,9 @@ def _build_plan(args: argparse.Namespace):
     from .flow import flow
 
     params = {"delta": args.delta} if args.method in _DELTA_CODES else {}
-    plan = flow(args.input, directed=args.directed).method(args.method,
-                                                           **params)
+    streaming = _STREAMING_MODES[getattr(args, "streaming", "auto")]
+    plan = flow(args.input, directed=args.directed,
+                streaming=streaming).method(args.method, **params)
     kwargs = {}
     for name in ("threshold", "share", "n_edges"):
         value = getattr(args, name, None)
@@ -332,6 +350,8 @@ def _build_plan(args: argparse.Namespace):
 
 
 def _run_backbone(args: argparse.Namespace) -> int:
+    from .flow import StreamingUnsupported
+
     plan, kwargs = _build_plan(args)
     method = plan.method_spec.build()
     if method.parameter_free and kwargs:
@@ -350,8 +370,15 @@ def _run_backbone(args: argparse.Namespace) -> int:
     if args.explain:
         print(plan.explain(store=store))
         return 0
-    result = plan.run(store=store)
-    backbone, table = result.backbone, result.table
+    try:
+        result = plan.run(store=store)
+    except StreamingUnsupported as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    backbone = result.backbone
+    # Streamed plans carry a TableSummary instead of the parsed table;
+    # it answers everything the report needs (m, non_isolated_count).
+    table = result.table if result.table is not None else result.base
     write_edges(backbone, args.output)
     kept_nodes = coverage(table, backbone)
     print(f"kept {backbone.m} of {table.m} edges "
@@ -398,8 +425,7 @@ def _run_info(args: argparse.Namespace) -> int:
 
 def _run_convert(args: argparse.Namespace) -> int:
     try:
-        table = read_edges(args.input, directed=args.directed)
-        write_edges(table, args.output)
+        table = _convert_edges(args)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -408,6 +434,34 @@ def _run_convert(args: argparse.Namespace) -> int:
     print(f"wrote {args.output} ({detect_format(args.output)}): "
           f"{table.m} edges, {table.n_nodes} nodes, {kind}, {labeled}")
     return 0
+
+
+def _convert_edges(args: argparse.Namespace):
+    """Convert in memory or out-of-core; returns the table or summary.
+
+    Streaming conversion (bounded memory, same canonical rows) can
+    only target ``.npz`` — the text writers need a materialized
+    table — so ``--streaming always`` demands an ``.npz`` output and
+    ``auto`` falls back to in-memory for text outputs.
+    """
+    mode = _STREAMING_MODES[getattr(args, "streaming", "auto")]
+    if mode is not False and detect_format(args.output) == "npz":
+        from .stream import auto_threshold_bytes, stream_convert
+
+        try:
+            size = os.stat(args.input).st_size
+        except OSError:
+            size = None
+        if mode is True or (size is not None
+                            and size >= auto_threshold_bytes()):
+            return stream_convert(args.input, args.output,
+                                  directed=args.directed)
+    elif mode is True:
+        raise ValueError("--streaming always needs an .npz output; "
+                         f"got {args.output!r}")
+    table = read_edges(args.input, directed=args.directed)
+    write_edges(table, args.output)
+    return table
 
 
 def _run_sweep(args: argparse.Namespace) -> int:
@@ -495,7 +549,8 @@ def _run_flow(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    backbone, table = result.backbone, result.table
+    backbone = result.backbone
+    table = result.table if result.table is not None else result.base
     if args.output:
         write_edges(backbone, args.output)
     print(f"plan {plan.fingerprint()[:16]}: kept {backbone.m} of "

@@ -41,6 +41,7 @@ table — and :func:`register_scheme` adds new schemes without touching
 this package.
 """
 
+from ..stream import StreamingUnsupported
 from .compile import CompiledPlan, compile_plans
 from .plan import PLAN_SCHEMA_VERSION, Plan, flow
 from .serve import FlowResult, serve
@@ -66,6 +67,7 @@ __all__ = [
     "Plan",
     "PlanSerializationError",
     "RemoteSource",
+    "StreamingUnsupported",
     "TableSource",
     "as_metric",
     "as_source",

@@ -44,12 +44,22 @@ PLAN_SCHEMA_VERSION = 1
 
 
 def flow(source, directed: bool = True, delimiter: str = ",",
-         format: Optional[str] = None) -> "Plan":
+         format: Optional[str] = None, streaming="auto") -> "Plan":
     """Start a plan from a source: path, ``file://`` URL or EdgeTable.
 
     ``directed`` / ``delimiter`` / ``format`` apply to file sources
     exactly as in :func:`repro.graph.ingest.read_edges` (and are
     ignored for ``.npz``, which is self-describing).
+
+    ``streaming`` chooses the execution path: ``False`` always
+    materializes the table in memory, ``True`` always runs the
+    out-of-core two-pass pipeline (:mod:`repro.stream`; compile raises
+    :class:`~repro.stream.StreamingUnsupported` for methods that need
+    the full graph), and ``"auto"`` (the default) streams supported
+    methods when the source file is at least
+    :func:`repro.stream.auto_threshold_bytes` large. Results and cache
+    keys are identical either way — streaming is an execution knob,
+    not part of the request identity.
 
     >>> from repro.flow import flow
     >>> plan = flow("edges.csv", directed=False).method("nc", delta=1.0)
@@ -58,7 +68,15 @@ def flow(source, directed: bool = True, delimiter: str = ",",
     'NC'
     """
     return Plan(source=as_source(source, directed=directed,
-                                 delimiter=delimiter, format=format))
+                                 delimiter=delimiter, format=format),
+                streaming=_checked_streaming(streaming))
+
+
+def _checked_streaming(streaming):
+    require(streaming in (True, False, "auto"),
+            f"streaming must be True, False or 'auto', "
+            f"got {streaming!r}")
+    return streaming
 
 
 @dataclass(frozen=True, eq=False)
@@ -69,6 +87,10 @@ class Plan:
     method_spec: Optional[object] = None
     budget_spec: Optional[FilterSpec] = None
     metric_specs: Tuple[object, ...] = ()
+    #: Execution knob (``True`` / ``False`` / ``"auto"``): whether the
+    #: out-of-core pipeline runs. Deliberately excluded from
+    #: :meth:`fingerprint` — both paths produce identical results.
+    streaming: object = "auto"
 
     # ------------------------------------------------------------------
     # Builders (each returns a new Plan)
@@ -141,8 +163,11 @@ class Plan:
 
         # Explicit None check: an *empty* ScoreStore is falsy (len 0)
         # but must still be used, not silently replaced.
+        # allow_streaming=False: this entry point returns the full
+        # in-memory ScoredEdges, which streaming never materializes.
         compiled = compile_plans(
-            [self], ScoreStore() if store is None else store)[0]
+            [self], ScoreStore() if store is None else store,
+            allow_streaming=False)[0]
         return score_with_store(compiled.method, compiled.table,
                                 store, key=compiled.key)
 
@@ -280,6 +305,8 @@ class Plan:
                        else self.budget_spec.to_json()),
             "metrics": [spec.to_json() for spec in self.metric_specs],
         }
+        if self.streaming != "auto":
+            payload["streaming"] = self.streaming
         return json.dumps(payload, indent=indent, sort_keys=True)
 
     @classmethod
@@ -302,6 +329,9 @@ class Plan:
         if payload.get("metrics"):
             plan = replace(plan, metric_specs=metrics_from_json(
                 payload["metrics"]))
+        if "streaming" in payload:
+            plan = replace(plan, streaming=_checked_streaming(
+                payload["streaming"]))
         # Surface config errors (unknown codes, bad budgets) at load
         # time, not at run time on a remote worker.
         plan.method_spec.build()

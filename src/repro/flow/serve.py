@@ -64,6 +64,9 @@ class FlowResult:
     values: Tuple[float, ...] = ()
     kept_share: Optional[float] = None
     error: Optional[Exception] = field(default=None, repr=False)
+    #: O(1) summary of the source table (always set for streamed
+    #: plans, whose ``table`` is ``None`` by design).
+    base: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -105,25 +108,36 @@ def serve_compiled(compiled: Sequence[CompiledPlan],
     scheduling, deduplication and per-plan error handling.
     """
     scored_by_key, error_by_key = _score_batch(compiled, store, workers)
+    stream_backbones, stream_errors = _serve_streams(
+        compiled, scored_by_key, error_by_key)
     shared = _shared_rankings(compiled, scored_by_key, error_by_key)
     results = []
     nonloop_m: Dict[int, int] = {}  # per shared table, computed once
     for index, item in enumerate(compiled):
+        base = None if item.stream is None else item.stream.summary
         error = error_by_key.get(item.key)
+        if error is None:
+            error = stream_errors.get(index)
         if error is not None:
             results.append(FlowResult(plan=item.plan, cache_key=item.key,
-                                      table=item.table, error=error))
+                                      table=item.table, base=base,
+                                      error=error))
             continue
         try:
             with span("plan.extract", key=item.key[:16]):
                 backbone = shared.get(index)
                 if backbone is None:
+                    backbone = stream_backbones.get(index)
+                if backbone is None:
                     backbone = _apply_filter(item,
                                              scored_by_key[item.key])
-                base_m = nonloop_m.get(id(item.table))
-                if base_m is None:
-                    base_m = item.table.without_self_loops().m
-                    nonloop_m[id(item.table)] = base_m
+                if item.stream is not None:
+                    base_m = item.stream.nonloop_m
+                else:
+                    base_m = nonloop_m.get(id(item.table))
+                    if base_m is None:
+                        base_m = item.table.without_self_loops().m
+                        nonloop_m[id(item.table)] = base_m
                 kept = backbone.m / max(base_m, 1)
                 values = tuple(metric(backbone)
                                for metric in item.metrics)
@@ -131,11 +145,13 @@ def serve_compiled(compiled: Sequence[CompiledPlan],
             # Filter/metric isolation: a budget the method rejects (or
             # a metric blowing up) fails this plan, not its batchmates.
             results.append(FlowResult(plan=item.plan, cache_key=item.key,
-                                      table=item.table, error=error))
+                                      table=item.table, base=base,
+                                      error=error))
             continue
         results.append(FlowResult(plan=item.plan, cache_key=item.key,
                                   table=item.table, backbone=backbone,
-                                  values=values, kept_share=kept))
+                                  values=values, kept_share=kept,
+                                  base=base))
     return results
 
 
@@ -155,14 +171,21 @@ def _score_batch(compiled: Sequence[CompiledPlan], store: ScoreStore,
     """
     unique: Dict[str, CompiledPlan] = {}
     for item in compiled:
-        unique.setdefault(item.key, item)
+        found = unique.get(item.key)
+        # Prefer an in-memory representative: when a streamed and an
+        # in-memory plan share a key (same source, same scoring), the
+        # one scoring pass must run on the materialized table so both
+        # can consume it.
+        if found is None or (found.stream is not None
+                             and item.stream is None):
+            unique[item.key] = item
 
     with span("flow.score", requests=len(compiled),
               unique=len(unique)):
         count = min(resolve_workers(workers), len(unique))
         if count > 1:
             pending = [item for key, item in unique.items()
-                       if key not in store]
+                       if item.stream is None and key not in store]
             if len(pending) > 1:
                 spec = store.worker_spec()
                 payloads = [(item.method, item.table, spec, item.key)
@@ -181,6 +204,17 @@ def _score_batch(compiled: Sequence[CompiledPlan], store: ScoreStore,
 
         scored_by_key, error_by_key = {}, {}
         for key, item in unique.items():
+            if item.stream is not None:
+                # Streamed request: a warm cache answers with the full
+                # ScoredEdges (the stream's fingerprint matches the
+                # in-memory table's, so keys are shared); a miss is
+                # served by pass 2 instead — streaming never
+                # materializes the score array, so it cannot warm the
+                # store itself.
+                cached = store.get(key)
+                if cached is not None:
+                    scored_by_key[key] = cached
+                continue
             try:
                 scored_by_key[key] = score_with_store(
                     item.method, item.table, store, key=key)
@@ -217,6 +251,42 @@ def _score_remote(payload) -> Tuple[object, tuple]:
 
 
 # ----------------------------------------------------------------------
+# Streaming (pass 2 of repro.stream)
+# ----------------------------------------------------------------------
+
+def _serve_streams(compiled: Sequence[CompiledPlan], scored_by_key,
+                   error_by_key):
+    """Run the out-of-core pass 2 once per stream for the plans the
+    score cache could not answer.
+
+    Plans over one stream are extracted together (each distinct cache
+    key scored once per block); job ids are the compiled indexes, so
+    the results drop straight into the per-plan loop. Per-job errors
+    come back with in-memory precedence and isolation.
+    """
+    from ..stream import stream_extract
+
+    by_stream: Dict[int, Tuple[object, List[Tuple[int, CompiledPlan]]]]
+    by_stream = {}
+    for index, item in enumerate(compiled):
+        if (item.stream is None or item.key in scored_by_key
+                or item.key in error_by_key):
+            continue
+        entry = by_stream.setdefault(id(item.stream),
+                                     (item.stream, []))
+        entry[1].append((index, item))
+    backbones: Dict[int, EdgeTable] = {}
+    errors: Dict[int, Exception] = {}
+    for stream, members in by_stream.values():
+        jobs = [(index, item.key, item.method, item.budget)
+                for index, item in members]
+        got, bad = stream_extract(stream, jobs)
+        backbones.update(got)
+        errors.update(bad)
+    return backbones, errors
+
+
+# ----------------------------------------------------------------------
 # Filtering
 # ----------------------------------------------------------------------
 
@@ -235,7 +305,7 @@ def _shared_rankings(compiled: Sequence[CompiledPlan], scored_by_key,
         if (budget is not None and budget.rank == "score"
                 and budget.share is not None
                 and not item.method.parameter_free
-                and item.key not in error_by_key):
+                and item.key in scored_by_key):
             groups.setdefault(item.key, []).append(index)
     shared: Dict[int, EdgeTable] = {}
     for key, indexes in groups.items():

@@ -33,19 +33,29 @@ same file produce identical source fingerprints — warm caches carry
 over no matter which side populated them.
 
 Fetched bytes are spooled once per URL per process (under a temp
-directory cleaned at exit); :func:`clear_fetch_cache` drops the
-spool, which tests use to force refetches.
+directory cleaned at exit). The spool is a byte-capped LRU: when the
+spooled files together exceed :func:`fetch_cache_limit` (the
+``REPRO_FETCH_CACHE_BYTES`` environment variable, default 256 MiB,
+overridable with :func:`set_fetch_cache_limit`), the least recently
+used spool files are deleted — the next access refetches them — so a
+long-lived process touching many URLs holds bounded disk/tmpfs, not
+one spool file per URL forever. Evictions are counted in the metrics
+registry (``repro_fetch_spool_evictions_total``).
+:func:`clear_fetch_cache` drops the whole spool, which tests use to
+force refetches.
 """
 
 from __future__ import annotations
 
 import atexit
 import hashlib
+import os
 import posixpath
 import re
 import shutil
 import tempfile
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple
@@ -55,6 +65,7 @@ from urllib.request import Request, urlopen
 
 from ..graph.edge_table import EdgeTable
 from ..graph.ingest import detect_format, read_edges
+from ..obs.metrics import get_registry
 from ..pipeline.fingerprint import (fingerprint_file,
                                     fingerprint_source_request)
 from ..util.validation import require
@@ -145,9 +156,77 @@ def is_source_spec(obj) -> bool:
 # The fetch spool
 # ----------------------------------------------------------------------
 
+#: Default byte cap on spooled fetches (overridden by the
+#: ``REPRO_FETCH_CACHE_BYTES`` env var / :func:`set_fetch_cache_limit`).
+DEFAULT_FETCH_CACHE_BYTES = 256 << 20
+
 _SPOOL_LOCK = threading.Lock()
 _SPOOL_DIR: Optional[Path] = None
-_SPOOLED: Dict[str, Path] = {}
+#: url -> spool path, in least-recently-used-first order.
+_SPOOLED: "OrderedDict[str, Path]" = OrderedDict()
+#: url -> spooled byte size (kept in lockstep with ``_SPOOLED``).
+_SPOOL_SIZES: Dict[str, int] = {}
+_SPOOL_TOTAL = 0
+_FETCH_CACHE_LIMIT: Optional[int] = None
+
+_SPOOL_EVICTIONS = get_registry().counter(
+    "repro_fetch_spool_evictions_total",
+    "Fetch-spool files evicted by the LRU byte cap.")
+
+
+def fetch_cache_limit() -> int:
+    """The spool byte cap currently in force.
+
+    :func:`set_fetch_cache_limit` wins over the
+    ``REPRO_FETCH_CACHE_BYTES`` environment variable, which wins over
+    :data:`DEFAULT_FETCH_CACHE_BYTES`.
+    """
+    if _FETCH_CACHE_LIMIT is not None:
+        return _FETCH_CACHE_LIMIT
+    text = os.environ.get("REPRO_FETCH_CACHE_BYTES")
+    if text is not None:
+        try:
+            return max(0, int(text))
+        except ValueError:
+            pass
+    return DEFAULT_FETCH_CACHE_BYTES
+
+
+def set_fetch_cache_limit(limit: Optional[int]) -> None:
+    """Override the spool byte cap; ``None`` restores env/default.
+
+    Lowering the cap takes effect at the next fetch (nothing is
+    evicted eagerly).
+    """
+    global _FETCH_CACHE_LIMIT
+    require(limit is None or (isinstance(limit, int) and limit >= 0),
+            f"fetch cache limit must be a non-negative int or None, "
+            f"got {limit!r}")
+    _FETCH_CACHE_LIMIT = limit
+
+
+def _spool_insert(url: str, dest: Path) -> None:
+    """Record a fresh spool file and evict LRU entries over the cap.
+
+    The just-inserted entry is never evicted — a file larger than the
+    whole cap still has to be usable once — so the spool can transiently
+    exceed the cap by one oversized file.
+    """
+    global _SPOOL_TOTAL
+    size = dest.stat().st_size
+    _SPOOLED[url] = dest
+    _SPOOLED.move_to_end(url)
+    _SPOOL_TOTAL += size - _SPOOL_SIZES.get(url, 0)
+    _SPOOL_SIZES[url] = size
+    limit = fetch_cache_limit()
+    while _SPOOL_TOTAL > limit and len(_SPOOLED) > 1:
+        stale_url, stale_path = next(iter(_SPOOLED.items()))
+        if stale_url == url:  # pragma: no cover - len>1 guards this
+            break
+        del _SPOOLED[stale_url]
+        _SPOOL_TOTAL -= _SPOOL_SIZES.pop(stale_url)
+        stale_path.unlink(missing_ok=True)
+        _SPOOL_EVICTIONS.inc()
 
 
 def _spool_dir() -> Path:
@@ -161,8 +240,11 @@ def _spool_dir() -> Path:
 
 def clear_fetch_cache() -> None:
     """Forget every spooled fetch (the next access refetches)."""
+    global _SPOOL_TOTAL
     with _SPOOL_LOCK:
         _SPOOLED.clear()
+        _SPOOL_SIZES.clear()
+        _SPOOL_TOTAL = 0
 
 
 def url_filename(url: str) -> str:
@@ -175,6 +257,7 @@ def _fetch(url: str) -> Path:
     with _SPOOL_LOCK:
         cached = _SPOOLED.get(url)
         if cached is not None and cached.exists():
+            _SPOOLED.move_to_end(url)  # freshen for LRU eviction
             return cached
         scheme = url.partition("://")[0].lower()
         name = re.sub(r"[^A-Za-z0-9._-]", "_",
@@ -187,7 +270,7 @@ def _fetch(url: str) -> Path:
             _kv_fetch(url, dest)
         else:  # pragma: no cover - resolvers gate the schemes
             raise SourceFetchError(f"no fetcher for {url!r}")
-        _SPOOLED[url] = dest
+        _spool_insert(url, dest)
         return dest
 
 

@@ -378,17 +378,24 @@ def _open_binary(path: Path):
     return open(path, "rb")
 
 
-def _read_csv_table(path: PathLike, directed: bool, delimiter: str,
-                    labels: Optional[Sequence[str]],
-                    block_bytes: int) -> EdgeTable:
+def stream_csv_chunks(path: PathLike, sink, delimiter: str = ",",
+                      force_tokens: bool = False,
+                      block_bytes: int = DEFAULT_BLOCK_BYTES) -> bool:
+    """Drive the chunked CSV parser, pushing parsed chunks into ``sink``.
+
+    ``sink`` is anything with an ``append(src, dst, weight)`` method
+    taking aligned arrays — an :class:`EdgeTableBuilder`, or a spill
+    writer in :mod:`repro.stream` that never holds the whole table.
+    Chunks arrive in file order; endpoint chunks are int64 index arrays
+    or unicode token arrays exactly as the parser tiers produced them
+    (the integer-vs-label decision stays with the sink, like the
+    historical whole-file reader). Returns ``True`` when a header line
+    was seen (i.e. the file was not completely empty).
+    """
     path = Path(path)
     if len(delimiter) != 1:
         raise TypeError("delimiter must be a 1-character string")
-    builder = EdgeTableBuilder(directed=directed, labels=labels)
-    # An explicit vocabulary means every token is a label lookup (the
-    # historical semantics), so the integer fast path must not run.
-    force_tokens = labels is not None
-    state = _ReaderState(builder, delimiter, path, force_tokens)
+    state = _ReaderState(sink, delimiter, path, force_tokens)
     blocks = 0
     with _open_binary(path) as handle:
         remainder = b""
@@ -418,7 +425,19 @@ def _read_csv_table(path: PathLike, directed: bool, delimiter: str,
             else:
                 state.consume(remainder + b"\n")
     add_attributes(blocks=blocks)
-    if not state.saw_header:
+    return state.saw_header
+
+
+def _read_csv_table(path: PathLike, directed: bool, delimiter: str,
+                    labels: Optional[Sequence[str]],
+                    block_bytes: int) -> EdgeTable:
+    builder = EdgeTableBuilder(directed=directed, labels=labels)
+    # An explicit vocabulary means every token is a label lookup (the
+    # historical semantics), so the integer fast path must not run.
+    saw_header = stream_csv_chunks(path, builder, delimiter=delimiter,
+                                   force_tokens=labels is not None,
+                                   block_bytes=block_bytes)
+    if not saw_header:
         # A completely empty file: the historical reader returned an
         # unlabeled empty table here regardless of ``labels``.
         return EdgeTable((), (), (), directed=directed)
@@ -428,9 +447,9 @@ def _read_csv_table(path: PathLike, directed: bool, delimiter: str,
 class _ReaderState:
     """Header accounting and per-block dispatch for the CSV reader."""
 
-    def __init__(self, builder: EdgeTableBuilder, delimiter: str,
+    def __init__(self, sink, delimiter: str,
                  path: Path, force_tokens: bool):
-        self.builder = builder
+        self.sink = sink
         self.delimiter = delimiter
         self.path = path
         self.force_tokens = force_tokens
@@ -456,7 +475,7 @@ class _ReaderState:
 
     def consume_quoted(self, tail: bytes) -> None:
         """csv-module pass over everything from the first quote on."""
-        self.builder.append(*_parse_rows(
+        self.sink.append(*_parse_rows(
             tail, self.delimiter, self.path, self.line_no + 1,
             skip_header=not self.saw_header))
         self.saw_header = True
@@ -466,20 +485,20 @@ class _ReaderState:
         if ord(self.delimiter) > 127:
             # Non-ASCII delimiters span several bytes in UTF-8; the
             # byte-level tiers cannot see them.
-            self.builder.append(*_parse_rows(block, self.delimiter,
-                                             self.path, first_line))
+            self.sink.append(*_parse_rows(block, self.delimiter,
+                                          self.path, first_line))
             return
         if not self.force_tokens:
             data = np.frombuffer(block, dtype=np.uint8)
             fast = _parse_block_fast(data, ord(self.delimiter))
             if fast is not None:
-                self.builder.append(*fast)
+                self.sink.append(*fast)
                 return
         tokens = _parse_block_tokens(block, self.delimiter)
         if tokens is None:
             tokens = _parse_rows(block, self.delimiter, self.path,
                                  first_line)
-        self.builder.append(*tokens)
+        self.sink.append(*tokens)
 
 
 def _parse_block_fast(data: np.ndarray, delim: int

@@ -1,0 +1,238 @@
+"""Block-level IO for the out-of-core scoring pipeline.
+
+Pass 1 of :mod:`repro.stream` never holds the table: parsed chunks go
+straight to disk and are replayed later. Two sources feed it:
+
+* CSV (``.csv`` / ``.csv.gz``): :func:`repro.graph.ingest.
+  stream_csv_chunks` pushes parsed chunks into a :class:`ChunkSpool`.
+  The integer-vs-label decision needs the whole file (exactly like
+  :class:`~repro.graph.ingest.EdgeTableBuilder`), so the spool records
+  each chunk verbatim plus the two facts the decision needs — whether
+  any chunk was tokens, and whether every token chunk parses as
+  integers — and :meth:`ChunkSpool.replay` re-yields the chunks once
+  the decision is known.
+* ``.npz``: the archive is self-describing and its columns are already
+  canonical dtypes, so :class:`NpzColumns` streams the three member
+  arrays directly out of the zip (``np.savez`` stores them
+  uncompressed) without a spool.
+
+Validation mirrors :meth:`EdgeTable.from_arrays` chunk by chunk with
+the same messages; every check here is elementwise, so checking per
+chunk accepts and rejects exactly the same inputs.
+"""
+
+from __future__ import annotations
+
+import zipfile
+from pathlib import Path
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..graph.ingest import _NPZ_REQUIRED, _as_endpoint_chunk
+
+Chunk = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def _token_chunk_is_integer(chunk: np.ndarray) -> bool:
+    try:
+        chunk.astype(np.int64)
+    except (ValueError, OverflowError):
+        return False
+    return True
+
+
+class ChunkSpool:
+    """Append-only on-disk spool of parsed ``(src, dst, weight)`` chunks.
+
+    Quacks like :class:`EdgeTableBuilder` for
+    :func:`~repro.graph.ingest.stream_csv_chunks` (an ``append``
+    method), but writes each chunk to one flat file via
+    ``np.lib.format`` instead of accumulating arrays.
+    """
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self._handle = open(self.path, "wb")
+        self.rows = 0
+        self.any_tokens = False
+        self.tokens_integer = True
+
+    def append(self, src, dst, weight) -> "ChunkSpool":
+        src = _as_endpoint_chunk(src, "src")
+        dst = _as_endpoint_chunk(dst, "dst")
+        weight = np.asarray(weight, dtype=np.float64)
+        if weight.ndim != 1:
+            raise ValueError("weight chunk must be one-dimensional, "
+                             f"got shape {weight.shape}")
+        if not len(src) == len(dst) == len(weight):
+            raise ValueError(
+                f"chunk arrays must have equal lengths, got "
+                f"src={len(src)}, dst={len(dst)}, weight={len(weight)}")
+        if (src.dtype.kind == "U") != (dst.dtype.kind == "U"):
+            raise ValueError("src and dst chunks must both be index "
+                             "arrays or both be label arrays")
+        if len(src) == 0:
+            return self
+        if src.dtype.kind == "U":
+            self.any_tokens = True
+            if self.tokens_integer:
+                self.tokens_integer = (_token_chunk_is_integer(src)
+                                       and _token_chunk_is_integer(dst))
+        for array in (src, dst, weight):
+            np.lib.format.write_array(self._handle,
+                                      np.ascontiguousarray(array),
+                                      allow_pickle=False)
+        self.rows += len(src)
+        return self
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def replay(self) -> Iterator[Chunk]:
+        """Yield the appended chunks back, in order."""
+        self.close()
+        with open(self.path, "rb") as handle:
+            while True:
+                probe = handle.read(1)
+                if not probe:
+                    return
+                handle.seek(-1, 1)
+                src = np.lib.format.read_array(handle, allow_pickle=False)
+                dst = np.lib.format.read_array(handle, allow_pickle=False)
+                weight = np.lib.format.read_array(handle,
+                                                  allow_pickle=False)
+                yield src, dst, weight
+
+    def unlink(self) -> None:
+        self.close()
+        self.path.unlink(missing_ok=True)
+
+
+# ----------------------------------------------------------------------
+# Streaming .npz columns
+# ----------------------------------------------------------------------
+
+def _read_member_header(handle):
+    version = np.lib.format.read_magic(handle)
+    if version == (1, 0):
+        return np.lib.format.read_array_header_1_0(handle)
+    if version == (2, 0):
+        return np.lib.format.read_array_header_2_0(handle)
+    raise ValueError(f"unsupported .npy format version {version}")
+
+
+class _MemberReader:
+    """Chunked reader over one 1-D ``.npy`` member of the archive."""
+
+    def __init__(self, zf: zipfile.ZipFile, name: str, key: str):
+        self._handle = zf.open(name)
+        shape, fortran_order, dtype = _read_member_header(self._handle)
+        if len(shape) != 1 or dtype.hasobject:
+            raise ValueError(f"{key} must be one-dimensional, "
+                             f"got shape {shape}")
+        self.count = int(shape[0])
+        self.dtype = dtype
+
+    def read(self, rows: int) -> np.ndarray:
+        want = rows * self.dtype.itemsize
+        parts = []
+        while want:
+            piece = self._handle.read(want)
+            if not piece:
+                break
+            parts.append(piece)
+            want -= len(piece)
+        buffer = b"".join(parts)
+        if len(buffer) % self.dtype.itemsize:
+            raise ValueError("truncated array member")
+        return np.frombuffer(buffer, dtype=self.dtype)
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+def _as_index_chunk(chunk: np.ndarray, name: str) -> np.ndarray:
+    """Chunkwise :func:`~repro.util.validation.as_index_array`."""
+    if chunk.size == 0:
+        return chunk.astype(np.int64)
+    if not np.issubdtype(chunk.dtype, np.integer):
+        rounded = np.rint(np.asarray(chunk, dtype=np.float64))
+        if not np.allclose(chunk, rounded):
+            raise ValueError(f"{name} must contain integers")
+        chunk = rounded
+    chunk = chunk.astype(np.int64)
+    if chunk.min() < 0:
+        raise ValueError(f"{name} must contain non-negative indices")
+    return chunk
+
+
+class NpzColumns:
+    """Stream the columns of a :func:`write_edge_npz` archive.
+
+    Raises the same ``ValueError`` diagnostics as
+    :func:`~repro.graph.ingest.read_edge_npz` for archives that are
+    not edge tables; scalars and labels are loaded whole (they are
+    O(nodes) at most), the three edge columns stream in blocks.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        try:
+            self._zf = zipfile.ZipFile(self.path)
+            names = set(self._zf.namelist())
+            present = {name[:-4] for name in names
+                       if name.endswith(".npy")}
+            missing = [key for key in _NPZ_REQUIRED
+                       if key not in present]
+            if missing:
+                raise ValueError(
+                    f"{self.path} is not a repro edge table: missing "
+                    f"arrays {', '.join(missing)}")
+            self.n_nodes = int(self._read_small("n_nodes"))
+            self.directed = bool(self._read_small("directed"))
+            self.labels: Optional[Tuple[str, ...]] = None
+            if "labels" in present:
+                loaded = self._read_small("labels").tolist()
+                self.labels = tuple(str(label) for label in loaded)
+            src = _MemberReader(self._zf, "src.npy", "src")
+            src.close()
+            self.m = src.count
+        except (zipfile.BadZipFile, OSError, KeyError) as error:
+            raise ValueError(
+                f"{self.path} is not an .npz edge table: {error}"
+            ) from error
+
+    def _read_small(self, key: str) -> np.ndarray:
+        with self._zf.open(key + ".npy") as handle:
+            return np.lib.format.read_array(handle, allow_pickle=False)
+
+    def iter_rows(self, block_rows: int) -> Iterator[Chunk]:
+        """Yield aligned ``(src, dst, weight)`` blocks, validated."""
+        readers = {key: _MemberReader(self._zf, key + ".npy", key)
+                   for key in ("src", "dst", "weight")}
+        counts = {key: reader.count for key, reader in readers.items()}
+        if len(set(counts.values())) != 1:
+            raise ValueError("src, dst and weight must have the "
+                             "same length")
+        try:
+            remaining = counts["src"]
+            while remaining:
+                rows = min(block_rows, remaining)
+                src = _as_index_chunk(readers["src"].read(rows), "src")
+                dst = _as_index_chunk(readers["dst"].read(rows), "dst")
+                weight = np.asarray(readers["weight"].read(rows),
+                                    dtype=np.float64)
+                if weight.size and not np.all(np.isfinite(weight)):
+                    raise ValueError("weight contains non-finite values")
+                if not len(src) == len(dst) == len(weight) == rows:
+                    raise ValueError("truncated array member")
+                yield src, dst, weight
+                remaining -= rows
+        finally:
+            for reader in readers.values():
+                reader.close()
+
+    def close(self) -> None:
+        self._zf.close()

@@ -356,3 +356,78 @@ class TestRemoteSources:
         assert "remote" in text
         assert "http://h/edges.csv" in text
         assert "undirected" in text
+
+
+class TestFetchSpoolLRU:
+    """The fetch spool is byte-capped: LRU files are evicted."""
+
+    @pytest.fixture(autouse=True)
+    def capped_spool(self, monkeypatch):
+        from repro.flow import sources
+
+        def fake_fetch(url, dest, **kwargs):
+            size = int(url.rsplit("/", 1)[1])
+            dest.write_bytes(b"x" * size)
+
+        monkeypatch.setattr(sources, "_http_fetch", fake_fetch)
+        clear_fetch_cache()
+        sources.set_fetch_cache_limit(100)
+        yield sources
+        sources.set_fetch_cache_limit(None)
+        clear_fetch_cache()
+
+    def test_lru_eviction_under_byte_cap(self, capped_spool):
+        sources = capped_spool
+        first = sources._fetch("http://h/60")
+        second = sources._fetch("http://h/50")
+        assert not first.exists()  # 60+50 > 100: LRU evicted
+        assert second.exists()
+        assert sources._SPOOL_TOTAL == 50
+
+    def test_hits_freshen_lru_order(self, capped_spool):
+        sources = capped_spool
+        sources._fetch("http://h/60")
+        sources._fetch("http://h/60")  # hit: moves to MRU
+        kept = sources._fetch("http://h/30")
+        assert "http://h/60" in sources._SPOOLED
+        assert kept.exists()
+        sources._fetch("http://h/20")  # 60+30+20 > 100: evict 60
+        assert "http://h/60" not in sources._SPOOLED
+        assert sources._SPOOL_TOTAL == 50
+
+    def test_oversized_fetch_survives_until_next_insert(
+            self, capped_spool):
+        sources = capped_spool
+        big = sources._fetch("http://h/500")
+        assert big.exists()  # never evict the file just fetched
+        sources._fetch("http://h/10")
+        assert not big.exists()
+        assert sources._SPOOL_TOTAL == 10
+
+    def test_eviction_refetches_transparently(self, capped_spool):
+        sources = capped_spool
+        first = sources._fetch("http://h/80")
+        sources._fetch("http://h/90")  # evicts the 80
+        again = sources._fetch("http://h/80")
+        assert again.read_bytes() == b"x" * 80
+        assert again == first  # same spool path, refetched bytes
+
+    def test_eviction_counter_increments(self, capped_spool):
+        sources = capped_spool
+        before = sources._SPOOL_EVICTIONS.value()
+        sources._fetch("http://h/70")
+        sources._fetch("http://h/80")
+        assert sources._SPOOL_EVICTIONS.value() == before + 1
+
+    def test_limit_env_and_setter_precedence(self, capped_spool,
+                                             monkeypatch):
+        sources = capped_spool
+        assert sources.fetch_cache_limit() == 100  # setter in force
+        sources.set_fetch_cache_limit(None)
+        monkeypatch.setenv("REPRO_FETCH_CACHE_BYTES", "77")
+        assert sources.fetch_cache_limit() == 77
+        monkeypatch.setenv("REPRO_FETCH_CACHE_BYTES", "junk")
+        assert sources.fetch_cache_limit() == \
+            sources.DEFAULT_FETCH_CACHE_BYTES
+        with pytest.raises(ValueError, match="non-negative"):
+            sources.set_fetch_cache_limit(-5)
