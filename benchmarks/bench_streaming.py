@@ -105,10 +105,12 @@ def test_streaming_bit_identity_at_scale(benchmark, tmp_path):
                              ("DF", {"share": 0.1}),
                              ("NT", {"n_edges": 50_000})):
             mem_s, mem = time_call(
-                lambda: flow(str(npz), streaming=False).method(code)
+                lambda code=code, budget=budget:
+                flow(str(npz), streaming=False).method(code)
                 .budget(**budget).run())
             stream_s, streamed = time_call(
-                lambda: flow(str(npz), streaming=True).method(code)
+                lambda code=code, budget=budget:
+                flow(str(npz), streaming=True).method(code)
                 .budget(**budget).run())
             timings[code] = (mem_s, stream_s)
             pairs[code] = (mem, streamed)

@@ -17,6 +17,7 @@ latency percentiles, store counters) add it with
 trajectory instead of re-deriving it from CI logs.
 """
 
+import contextlib
 import json
 import os
 import platform
@@ -132,11 +133,10 @@ def pytest_sessionfinish(session, exitstatus):
                "env": bench_environment()}
         out.update(payload)
         target = REPO_ROOT / f"BENCH_{name}.json"
-        try:
+        # A read-only checkout must not fail the bench run.
+        with contextlib.suppress(OSError):
             target.write_text(json.dumps(out, indent=2, sort_keys=True)
                               + "\n")
-        except OSError:
-            pass  # a read-only checkout must not fail the bench run
 
 
 @pytest.fixture(scope="session")

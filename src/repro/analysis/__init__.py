@@ -1,0 +1,52 @@
+"""repro.analysis — AST-based invariant checkers for this repo.
+
+Generic linters catch generic bugs; the bugs that actually bit this
+codebase are repo-specific invariants no off-the-shelf tool knows
+about: mutate shared daemon state only under its lock, keep worker
+seams picklable, keep cache fingerprints content-addressed, own every
+socket/file in the long-lived layers, and never read a whole file in
+the out-of-core pipeline. This package encodes each invariant as a
+checker over :mod:`ast` and ships them behind ``repro analyze``.
+
+Quick use::
+
+    >>> from repro.analysis import analyze_source
+    >>> report = analyze_source("demo.py", '''
+    ... import threading
+    ... class Box:
+    ...     def __init__(self):
+    ...         self._lock = threading.Lock()
+    ...         self.items = []
+    ...     def add(self, x):
+    ...         with self._lock:
+    ...             self.items.append(x)
+    ...     def reset(self):
+    ...         self.items = []   # racy: no lock held
+    ... ''')
+    >>> [f.code for f in report.findings]
+    ['RPA001']
+
+Suppress a deliberate exception inline with a reason::
+
+    data = handle.read()  # repro: ignore[RPA005] tiny metadata file
+
+and grandfather pre-existing findings in ``analysis-baseline.json``
+(see :mod:`repro.analysis.baseline`). Both suppression layers are
+audited: stale ignores and stale baseline entries are reported.
+"""
+
+from .baseline import Baseline, BaselineResult
+from .checkers import (Checker, Module, all_checkers, checker_table,
+                       register_checker, registered_checkers)
+from .engine import (AnalysisReport, analyze_paths, analyze_source,
+                     check_module, discover_files)
+from .findings import Finding, ModuleReport
+from .ignores import IgnoreMap
+
+__all__ = [
+    "AnalysisReport", "Baseline", "BaselineResult", "Checker",
+    "Finding", "IgnoreMap", "Module", "ModuleReport", "all_checkers",
+    "analyze_paths", "analyze_source", "check_module",
+    "checker_table", "discover_files", "register_checker",
+    "registered_checkers",
+]

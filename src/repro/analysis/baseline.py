@@ -1,0 +1,81 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline is a JSON file holding the findings that existed when a
+checker was introduced. ``repro analyze`` subtracts it from the live
+run so a new checker can land strict without a flag-day fixing spree;
+the debt stays visible in the file and shrinks over time (fixed
+findings show up as *stale baseline entries* so the file cannot rot).
+
+Matching is line-independent — see :meth:`Finding.key` — and treats
+equal keys as a multiset: a baseline entry absorbs exactly one live
+finding, so regressions past the grandfathered count still fail.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from .findings import Finding
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class BaselineResult:
+    """Live findings split against a baseline."""
+
+    new: Tuple[Finding, ...]        #: findings not covered by baseline
+    matched: Tuple[Finding, ...]    #: grandfathered findings
+    #: baseline keys with no live finding left — fixed debt that
+    #: should be removed from the file.
+    stale: Tuple[Tuple[str, str, str, str], ...]
+
+
+class Baseline:
+    """A multiset of grandfathered finding keys."""
+
+    def __init__(self, findings: Iterable[Finding] = ()):
+        self.entries: List[Finding] = sorted(findings)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        version = payload.get("version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path}")
+        return cls(Finding.from_dict(entry)
+                   for entry in payload.get("findings", ()))
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "comment": ("Grandfathered repro-analyze findings. Entries"
+                        " match by (code, path, scope, detail), not"
+                        " line numbers. Shrink me, never grow me."),
+            "findings": [entry.to_dict() for entry in self.entries],
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                        + "\n", encoding="utf-8")
+
+    def apply(self, findings: Iterable[Finding]) -> BaselineResult:
+        budget = Counter(entry.key() for entry in self.entries)
+        new: List[Finding] = []
+        matched: List[Finding] = []
+        for finding in sorted(findings):
+            if budget.get(finding.key(), 0) > 0:
+                budget[finding.key()] -= 1
+                matched.append(finding)
+            else:
+                new.append(finding)
+        stale = sorted(key for key, count in budget.items()
+                       for _ in range(count))
+        return BaselineResult(new=tuple(new), matched=tuple(matched),
+                              stale=tuple(stale))

@@ -1,0 +1,24 @@
+"""Checker registry: importing this package registers the built-ins."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import (Checker, Module, checker_table, register_checker,
+                   registered_checkers)
+from . import lock_discipline  # noqa: F401  (registers RPA001)
+from . import picklability     # noqa: F401  (registers RPA002)
+from . import purity           # noqa: F401  (registers RPA003)
+from . import resources        # noqa: F401  (registers RPA004)
+from . import streaming        # noqa: F401  (registers RPA005)
+
+
+def all_checkers() -> List[Checker]:
+    """One fresh instance of every registered checker."""
+    return [cls() for cls in registered_checkers()]
+
+
+__all__ = [
+    "Checker", "Module", "all_checkers", "checker_table",
+    "register_checker", "registered_checkers",
+]

@@ -1,0 +1,155 @@
+"""RPA002 — cross-process picklability at the worker seams.
+
+Two things cross process boundaries in this repo and must pickle:
+
+* the function handed to :func:`repro.util.parallel.parallel_map`
+  (sent to ``multiprocessing`` workers); lambdas and functions defined
+  inside another function fail ``pickle`` with an opaque
+  ``AttributeError: Can't pickle local object`` at call time, often
+  only on the spawn start method — i.e. only on someone else's
+  machine;
+* :class:`~repro.backbones.base.BackboneMethod` instances (the method
+  seam shipped to workers and daemons via ``worker_spec``); a method
+  object holding a lock, socket, file handle or ``ContextVar`` will
+  pickle-fail or, worse, silently resurrect a dead resource in the
+  child.
+
+This checker flags both shapes at the definition site, where the fix
+is cheap, instead of at the call site where it surfaces as a crash.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from ..astutil import (call_name, enclosing_class, enclosing_function,
+                       is_self_attribute, scope_qualname)
+from ..findings import Finding
+from .base import Checker, Module, register_checker
+
+#: Call targets treated as worker-dispatch seams: the first positional
+#: argument travels to another process.
+_SEAM_CALLS = ("parallel_map",)
+
+#: Base classes whose instances are pickled across processes.
+_SEAM_BASES = ("BackboneMethod", "ChaosMethod")
+
+#: Constructor names whose results never survive pickling.
+_UNPICKLABLE_FACTORIES = {
+    "Lock", "RLock", "Condition", "Event", "Semaphore",
+    "BoundedSemaphore", "Barrier",                    # threading
+    "socket", "create_connection", "socketpair",      # socket
+    "open",                                           # file handles
+    "ContextVar",                                     # contextvars
+    "Popen",                                          # subprocess
+}
+
+
+def _leaf(name: Optional[str]) -> Optional[str]:
+    return None if name is None else name.rsplit(".", 1)[-1]
+
+
+def _base_name(base: ast.AST) -> Optional[str]:
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    if isinstance(base, ast.Subscript):   # Generic[...] style bases
+        return _base_name(base.value)
+    return None
+
+
+def _seam_classes(tree: ast.Module) -> Set[str]:
+    """Classes deriving (transitively, by name) from a seam base."""
+    bases_by_class: Dict[str, Set[str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            bases_by_class[node.name] = {
+                name for name in map(_base_name, node.bases)
+                if name is not None}
+    seams = set(_SEAM_BASES)
+    changed = True
+    while changed:
+        changed = False
+        for name, bases in bases_by_class.items():
+            if name not in seams and bases & seams:
+                seams.add(name)
+                changed = True
+    return seams
+
+
+def _local_function_names(func: ast.AST) -> Set[str]:
+    """Functions defined directly inside ``func`` (not nested deeper)."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node is not func \
+                and enclosing_function(node) is func:
+            names.add(node.name)
+    return names
+
+
+@register_checker
+class PicklabilityChecker(Checker):
+    CODE = "RPA002"
+    NAME = "cross-process-picklability"
+    RATIONALE = ("objects crossing the parallel_map / worker_spec "
+                 "seams must pickle; lambdas, nested defs and held "
+                 "OS resources fail only at runtime in the child")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        yield from self._check_seam_calls(module)
+        yield from self._check_seam_classes(module)
+
+    def _check_seam_calls(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _leaf(call_name(node))
+            if target not in _SEAM_CALLS or not node.args:
+                continue
+            fn_arg = node.args[0]
+            if isinstance(fn_arg, ast.Lambda):
+                yield self.finding(
+                    module, fn_arg,
+                    f"lambda passed to {target}() cannot be pickled "
+                    "to worker processes; use a module-level "
+                    "function or functools.partial",
+                    scope=scope_qualname(node), detail="lambda")
+            elif isinstance(fn_arg, ast.Name):
+                enclosing = enclosing_function(node)
+                if enclosing is not None and fn_arg.id in \
+                        _local_function_names(enclosing):
+                    yield self.finding(
+                        module, fn_arg,
+                        f"function '{fn_arg.id}' is defined inside "
+                        f"'{enclosing.name}' and cannot be pickled "
+                        f"to worker processes; move it to module "
+                        "level",
+                        scope=scope_qualname(node), detail=fn_arg.id)
+
+    def _check_seam_classes(self,
+                            module: Module) -> Iterator[Finding]:
+        seams = _seam_classes(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            cls = enclosing_class(node)
+            if cls is None or cls.name not in seams:
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            factory = _leaf(call_name(node.value))
+            if factory not in _UNPICKLABLE_FACTORIES:
+                continue
+            for target in node.targets:
+                attr = is_self_attribute(target)
+                if attr is not None:
+                    yield self.finding(
+                        module, node,
+                        f"seam class '{cls.name}' stores a "
+                        f"{factory}() in 'self.{attr}'; method "
+                        "objects are pickled across processes and "
+                        "OS resources do not survive the trip",
+                        scope=scope_qualname(node), detail=attr)

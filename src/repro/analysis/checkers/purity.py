@@ -1,0 +1,126 @@
+"""RPA003 — fingerprint purity.
+
+Cache keys in this repo are content-addressed: the fingerprint of an
+edge table / method / flow plan must depend only on *what* is computed,
+never on *how* (worker counts, host, time of day). A fingerprint that
+sneaks in an execution-only knob silently splits the cache (same work,
+different keys — zero hits); one that sneaks in a nondeterminism
+source poisons it (different work, same key — wrong answers served).
+
+The checker therefore patrols **fingerprint code** — modules named
+``fingerprint*`` and functions/methods whose name starts with
+``fingerprint`` or is ``method_config`` — and flags:
+
+* attribute reads of execution-only knobs (``.workers``,
+  ``.extraction_only_params``): those are declared in
+  ``repro.pipeline.fingerprint`` as excluded from keys, so reading
+  them *inside* fingerprint code is almost certainly a leak;
+* calls into nondeterminism (``time.*``, ``random.*``, ``uuid.*``,
+  ``os.getpid``, ``os.urandom``, ``os.getenv``, ``datetime.now``)
+  and reads of ``os.environ``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+from typing import Iterator, Optional
+
+from ..astutil import (FUNCTION_KINDS, call_name, dotted_name,
+                       enclosing_function, parent, scope_qualname)
+from ..findings import Finding
+from .base import Checker, Module, register_checker
+
+#: Attributes that configure execution, not content; reading them in
+#: fingerprint code leaks how-we-ran into what-we-computed.
+_EXECUTION_KNOBS = {"workers", "extraction_only_params"}
+
+#: Dotted-name prefixes whose calls are nondeterministic.
+_NONDET_PREFIXES = ("time.", "random.", "uuid.", "secrets.")
+
+#: Exact dotted names that are nondeterministic calls.
+_NONDET_CALLS = {"os.getpid", "os.urandom", "os.getenv",
+                 "datetime.now", "datetime.utcnow",
+                 "datetime.datetime.now", "datetime.datetime.utcnow"}
+
+#: Exact dotted names whose mere *read* is nondeterministic.
+_NONDET_READS = {"os.environ"}
+
+
+def _is_fingerprint_module(path: str) -> bool:
+    return PurePosixPath(path).name.startswith("fingerprint")
+
+
+def _fingerprint_function(node: ast.AST) -> Optional[str]:
+    """Name of the enclosing fingerprint function, if any."""
+    func = node if isinstance(node, FUNCTION_KINDS) \
+        else enclosing_function(node)
+    while func is not None:
+        if func.name.startswith("fingerprint") \
+                or func.name == "method_config":
+            return func.name
+        func = enclosing_function(func)
+    return None
+
+
+@register_checker
+class FingerprintPurityChecker(Checker):
+    CODE = "RPA003"
+    NAME = "fingerprint-purity"
+    RATIONALE = ("cache keys must be content-addressed: execution "
+                 "knobs split the cache, nondeterminism poisons it")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        whole_module = _is_fingerprint_module(module.path)
+        for node in ast.walk(module.tree):
+            in_scope = whole_module \
+                or _fingerprint_function(node) is not None
+            if not in_scope:
+                continue
+            yield from self._check_node(module, node)
+
+    def _check_node(self, module: Module,
+                    node: ast.AST) -> Iterator[Finding]:
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.ctx, ast.Load) \
+                and node.attr in _EXECUTION_KNOBS \
+                and not self._is_string_key_lookup(node):
+            yield self.finding(
+                module, node,
+                f"fingerprint code reads execution-only knob "
+                f"'.{node.attr}'; cache keys must not depend on "
+                "how the run is executed",
+                scope=scope_qualname(node), detail=node.attr)
+        elif isinstance(node, ast.Call):
+            name = call_name(node)
+            if name is None:
+                return
+            if name in _NONDET_CALLS or any(
+                    name.startswith(prefix)
+                    for prefix in _NONDET_PREFIXES):
+                yield self.finding(
+                    module, node,
+                    f"fingerprint code calls nondeterministic "
+                    f"'{name}()'; equal inputs must produce equal "
+                    "fingerprints",
+                    scope=scope_qualname(node), detail=name)
+        elif isinstance(node, ast.Attribute):
+            name = dotted_name(node)
+            if name in _NONDET_READS:
+                yield self.finding(
+                    module, node,
+                    f"fingerprint code reads '{name}'; environment "
+                    "state must not reach cache keys",
+                    scope=scope_qualname(node), detail=name)
+
+    @staticmethod
+    def _is_string_key_lookup(node: ast.Attribute) -> bool:
+        """``config.pop("workers")``-style manipulation is the *fix*
+        for knob leakage, not an instance of it — only flag genuine
+        ``something.workers`` value reads, never the attribute half
+        of a method call like ``knobs.workers()``... which does not
+        occur; this guard keeps ``.workers`` used as a method name
+        (none today) from tripping the checker."""
+        parent_node = parent(node)
+        return isinstance(parent_node, ast.Call) \
+            and parent_node.func is node

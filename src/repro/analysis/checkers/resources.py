@@ -1,0 +1,171 @@
+"""RPA004 — resource leaks in the net/stream layers.
+
+``repro.net`` and ``repro.stream`` are exactly the layers where a
+leaked socket or file handle matters: the daemon runs for days, the
+stream pipeline opens spool files per chunk, and the chaos proxy
+churns through ephemeral connections. A handle that escapes its
+``with``/``finally`` is invisible under tests (the GC saves you) and
+fatal in production (fd exhaustion at 3 a.m.).
+
+A resource acquisition is fine when it follows one of the three
+ownership idioms already used across the repo:
+
+* **with-item** — ``with open(p) as f:`` / ``with socket.socket(...)``;
+* **owner attribute** — ``self._handle = open(p, "wb")`` inside a
+  class that defines a teardown method (``close``/``stop``/
+  ``shutdown``/``__exit__``/``__del__``): the object owns the handle
+  and its lifecycle (:class:`repro.stream.blocks.ChunkSpool`);
+* **close-in-finally** — ``conn = socket.create_connection(...)``
+  later closed in a ``finally:`` block of the same function
+  (:mod:`repro.net.faults`), or handed to an ``ExitStack`` via
+  ``enter_context``/``callback``, or returned to the caller (factory
+  functions transfer ownership).
+
+Everything else is a leak waiting for load.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from ..astutil import (call_name, enclosing_class, enclosing_function,
+                       is_self_attribute, parent, scope_qualname,
+                       statement_of)
+from ..findings import Finding
+from .base import Checker, Module, register_checker
+
+#: Calls that acquire an OS resource needing explicit release.
+_ACQUIRERS = {
+    "open",
+    "socket.socket", "socket.create_connection", "socket.socketpair",
+    "tempfile.TemporaryFile", "tempfile.NamedTemporaryFile",
+    "gzip.open", "bz2.open", "lzma.open", "io.open",
+}
+
+#: Methods whose presence marks a class as a resource owner.
+_TEARDOWN_METHODS = {"close", "stop", "shutdown", "__exit__",
+                     "__del__", "unlink", "cleanup"}
+
+
+def _is_acquirer(node: ast.Call) -> bool:
+    name = call_name(node)
+    if name is None:
+        return False
+    return name in _ACQUIRERS or name.rsplit(".", 1)[-1] == "open"
+
+
+def _inside_withitem(node: ast.AST) -> bool:
+    current: Optional[ast.AST] = node
+    while current is not None:
+        if isinstance(current, ast.withitem):
+            return True
+        if isinstance(current, ast.stmt):
+            return False
+        current = parent(current)
+    return False
+
+
+def _class_has_teardown(cls: ast.ClassDef) -> bool:
+    return any(isinstance(stmt, (ast.FunctionDef,
+                                 ast.AsyncFunctionDef))
+               and stmt.name in _TEARDOWN_METHODS
+               for stmt in cls.body)
+
+
+def _names_closed_in_finally(func: ast.AST) -> Set[str]:
+    """Local names ``n`` with ``n.close()``/``n.shutdown()`` (or an
+    ``ExitStack`` hand-off) inside a ``finally:`` or ``except:`` of
+    ``func``."""
+    closed: Set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Try):
+            continue
+        regions = list(node.finalbody)
+        for handler in node.handlers:
+            regions.extend(handler.body)
+        for stmt in regions:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call) \
+                        and isinstance(sub.func, ast.Attribute) \
+                        and sub.func.attr in ("close", "shutdown",
+                                              "release", "unlink") \
+                        and isinstance(sub.func.value, ast.Name):
+                    closed.add(sub.func.value.id)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in ("enter_context", "callback",
+                                       "push"):
+            for arg in node.args:
+                if isinstance(arg, ast.Name):
+                    closed.add(arg.id)
+                elif isinstance(arg, ast.Attribute) \
+                        and isinstance(arg.value, ast.Name):
+                    closed.add(arg.value.id)
+    return closed
+
+
+def _names_returned(func: ast.AST) -> Set[str]:
+    returned: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) \
+                and isinstance(node.value, ast.Name):
+            returned.add(node.value.id)
+        elif isinstance(node, ast.Return) \
+                and isinstance(node.value, ast.Tuple):
+            for elt in node.value.elts:
+                if isinstance(elt, ast.Name):
+                    returned.add(elt.id)
+    return returned
+
+
+@register_checker
+class ResourceLeakChecker(Checker):
+    CODE = "RPA004"
+    NAME = "resource-leaks"
+    RATIONALE = ("sockets/files in long-lived net/stream code must "
+                 "be owned: with-block, owner attribute with "
+                 "teardown, or close-in-finally")
+    PATH_PREFIXES = ("repro/net/", "repro/stream/", "repro/serve/")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) \
+                    or not _is_acquirer(node):
+                continue
+            if _inside_withitem(node):
+                continue
+            if self._owned(node):
+                continue
+            name = call_name(node) or "resource"
+            yield self.finding(
+                module, node,
+                f"'{name}(...)' acquires a resource outside any "
+                "with-block, owner attribute or close-in-finally; "
+                "it leaks on the first exception",
+                scope=scope_qualname(node), detail=name)
+
+    def _owned(self, node: ast.Call) -> bool:
+        stmt = statement_of(node)
+        func = enclosing_function(node)
+        # Direct return: ownership transfers to the caller.
+        if isinstance(stmt, ast.Return) and stmt.value is node:
+            return True
+        # The acquirer may sit inside the assigned expression (a list
+        # comprehension of handles, a wrapping call) — ownership is
+        # judged by where the value lands, not the exact expression.
+        if isinstance(stmt, ast.Assign) and stmt.value is not None \
+                and any(sub is node for sub in ast.walk(stmt.value)):
+            for target in stmt.targets:
+                attr = is_self_attribute(target)
+                if attr is not None:
+                    cls = enclosing_class(node)
+                    if cls is not None and _class_has_teardown(cls):
+                        return True
+                if isinstance(target, ast.Name) and func is not None:
+                    if target.id in _names_closed_in_finally(func):
+                        return True
+                    if target.id in _names_returned(func):
+                        return True
+        return False

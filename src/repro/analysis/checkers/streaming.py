@@ -1,0 +1,78 @@
+"""RPA005 — streaming-memory discipline.
+
+``repro.stream`` exists to score graphs that do not fit in memory: the
+whole point is O(nodes) residency with edges visited in bounded
+chunks. One careless ``handle.read()`` or ``np.loadtxt(path)`` turns
+the out-of-core pipeline back into an in-core one — and nothing fails
+until a user feeds it a 50 GB edge list.
+
+Inside the streaming surfaces (``repro/stream/`` and the chunked
+readers in ``repro/graph/ingest.py``) this checker flags whole-input
+materialisation:
+
+* ``X.read()`` / ``X.readlines()`` with no size argument — reads the
+  entire remainder (``X.read(65536)`` is the streaming idiom and is
+  fine);
+* ``Path.read_text()`` / ``read_bytes()`` — whole-file by definition;
+* ``np.loadtxt`` / ``np.genfromtxt`` / ``np.fromfile`` without a
+  bounding ``max_rows=``/``count=`` — materialises every row.
+
+Legitimate whole-input reads (tiny metadata files, quoted-CSV
+fallbacks that genuinely need the remainder) carry an inline
+``# repro: ignore[RPA005] <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import call_name, scope_qualname
+from ..findings import Finding
+from .base import Checker, Module, register_checker
+
+_WHOLE_READ_METHODS = {"read", "readlines"}
+_WHOLE_FILE_METHODS = {"read_text", "read_bytes"}
+_NUMPY_LOADERS = {"loadtxt", "genfromtxt", "fromfile"}
+_NUMPY_BOUNDS = {"max_rows", "count"}
+
+
+@register_checker
+class StreamingMemoryChecker(Checker):
+    CODE = "RPA005"
+    NAME = "streaming-memory"
+    RATIONALE = ("stream/ingest code must stay O(chunk): whole-file "
+                 "reads silently break the out-of-core guarantee")
+    PATH_PREFIXES = ("repro/stream/", "repro/graph/ingest")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) \
+                    or not isinstance(node.func, ast.Attribute):
+                continue
+            method = node.func.attr
+            if method in _WHOLE_READ_METHODS:
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        module, node,
+                        f".{method}() with no size argument reads "
+                        "the whole remainder into memory; pass a "
+                        "chunk size",
+                        scope=scope_qualname(node), detail=method)
+            elif method in _WHOLE_FILE_METHODS:
+                yield self.finding(
+                    module, node,
+                    f".{method}() materialises the whole file; use "
+                    "a chunked reader",
+                    scope=scope_qualname(node), detail=method)
+            elif method in _NUMPY_LOADERS:
+                name = call_name(node) or method
+                bounded = any(kw.arg in _NUMPY_BOUNDS
+                              for kw in node.keywords)
+                if not bounded:
+                    yield self.finding(
+                        module, node,
+                        f"'{name}(...)' without "
+                        "max_rows=/count= materialises every row; "
+                        "bound it or stream the file",
+                        scope=scope_qualname(node), detail=name)

@@ -1,0 +1,77 @@
+"""Finding objects and their stable identities.
+
+A :class:`Finding` is one checker verdict anchored to a source
+location. Two identities matter:
+
+* the **location** (``path:line:col``) — what humans and editors
+  consume;
+* the **key** (:meth:`Finding.key`) — ``path``, ``code``, enclosing
+  ``scope`` and a short ``detail`` token, deliberately *excluding*
+  line numbers so a committed baseline keeps matching after unrelated
+  edits shift the file around.
+
+Checkers fill ``detail`` with the smallest token that pins the finding
+down (an attribute name, a function name, a call target); together
+with the scope qualname that is almost always unique, and when it is
+not, the baseline treats equal keys as a multiset (two grandfathered
+findings absorb two live ones, a third still fails the build).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One invariant violation reported by a checker."""
+
+    path: str          #: repo-relative posix path of the module
+    line: int          #: 1-based source line
+    col: int           #: 0-based column
+    code: str          #: checker code, e.g. ``RPA001``
+    message: str       #: human-readable explanation
+    scope: str = ""    #: dotted qualname of the enclosing def/class
+    detail: str = ""   #: short stable token (attribute / call name)
+
+    def key(self) -> Tuple[str, str, str, str]:
+        """Line-independent identity used for baseline matching."""
+        return (self.code, self.path, self.scope, self.detail)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def render(self) -> str:
+        where = f" [{self.scope}]" if self.scope else ""
+        return f"{self.location()}: {self.code}{where} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path, "line": self.line, "col": self.col,
+            "code": self.code, "message": self.message,
+            "scope": self.scope, "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Finding":
+        return cls(path=str(payload["path"]),
+                   line=int(payload.get("line", 0)),
+                   col=int(payload.get("col", 0)),
+                   code=str(payload["code"]),
+                   message=str(payload.get("message", "")),
+                   scope=str(payload.get("scope", "")),
+                   detail=str(payload.get("detail", "")))
+
+
+@dataclass
+class ModuleReport:
+    """Per-module outcome: findings plus suppression accounting."""
+
+    path: str
+    findings: Tuple[Finding, ...] = ()
+    ignored: Tuple[Finding, ...] = ()
+    #: inline ignore comments that suppressed nothing — reported so
+    #: stale escapes cannot silently accumulate.
+    unused_ignores: Tuple[Tuple[int, str], ...] = ()
+    error: Optional[str] = field(default=None)

@@ -1,0 +1,95 @@
+"""The inline escape hatch: ``# repro: ignore[CODE]`` comments.
+
+A finding is suppressed when a matching ignore comment sits on the
+finding's own line, or alone on the line directly above it (the usual
+spot when the flagged statement already fills the 79 columns).
+Multiple codes may share one comment (``ignore[RPA001,RPA004]``), and
+anything after the closing bracket is free-form — by convention the
+*reason*, which reviewers should insist on::
+
+    data = handle.read()  # repro: ignore[RPA005] quoted fields can
+                          # span blocks; the csv fallback needs the
+                          # whole remainder
+
+Comments are read with :mod:`tokenize` (never regexes over raw lines),
+so ``"# repro: ignore"`` inside a string literal is not an escape.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Iterable, List, Set, Tuple
+
+_IGNORE_RE = re.compile(
+    r"#\s*repro:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
+
+class IgnoreMap:
+    """Per-line suppression codes parsed from one module's comments."""
+
+    def __init__(self, codes_by_line: Dict[int, Set[str]],
+                 bare_comment_lines: Set[int]):
+        self._by_line = codes_by_line
+        self._bare = bare_comment_lines
+        self._used: Set[Tuple[int, str]] = set()
+
+    @classmethod
+    def from_source(cls, source: str) -> "IgnoreMap":
+        codes_by_line: Dict[int, Set[str]] = {}
+        bare: Set[int] = set()
+        try:
+            tokens = list(tokenize.generate_tokens(
+                io.StringIO(source).readline))
+        except (tokenize.TokenError, SyntaxError, ValueError):
+            return cls({}, set())
+        code_lines: Set[int] = set()
+        comment_lines: Set[int] = set()
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comment_lines.add(token.start[0])
+                match = _IGNORE_RE.search(token.string)
+                if match:
+                    codes = {part.strip().upper()
+                             for part in match.group(1).split(",")
+                             if part.strip()}
+                    codes_by_line.setdefault(
+                        token.start[0], set()).update(codes)
+            elif token.type not in (tokenize.NL, tokenize.NEWLINE,
+                                    tokenize.INDENT, tokenize.DEDENT,
+                                    tokenize.ENDMARKER,
+                                    tokenize.ENCODING):
+                code_lines.add(token.start[0])
+        # Any comment-only line is chainable: a multi-line reason
+        # under one ignore comment must not break the upward walk.
+        bare = comment_lines - code_lines
+        return cls(codes_by_line, bare)
+
+    def _lines_covering(self, line: int) -> Iterable[int]:
+        # The finding's own line always applies; a comment-only line
+        # directly above applies too (and chains upward through a
+        # block of comment-only lines).
+        yield line
+        above = line - 1
+        while above in self._bare:
+            yield above
+            above -= 1
+
+    def suppresses(self, line: int, code: str) -> bool:
+        """Whether ``code`` on ``line`` is ignored; records usage."""
+        for candidate in self._lines_covering(line):
+            codes = self._by_line.get(candidate)
+            if codes and code.upper() in codes:
+                self._used.add((candidate, code.upper()))
+                return True
+        return False
+
+    def unused(self) -> List[Tuple[int, str]]:
+        """``(line, code)`` pairs whose escape suppressed nothing."""
+        stale = []
+        for line, codes in sorted(self._by_line.items()):
+            for code in sorted(codes):
+                if (line, code) not in self._used:
+                    stale.append((line, code))
+        return stale

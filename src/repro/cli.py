@@ -314,6 +314,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="daemon address (default 127.0.0.1)")
         sub.add_argument("--port", type=int, default=8710,
                          help="daemon port (default 8710)")
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="run the repo's AST invariant checkers (RPA001-RPA005)")
+    analyze.add_argument("paths", nargs="*", default=["src"],
+                         help="files or directories to check "
+                              "(default: src)")
+    analyze.add_argument("--format", choices=("text", "json"),
+                         default="text",
+                         help="report format (default text)")
+    analyze.add_argument("--baseline", metavar="PATH",
+                         help="baseline file of grandfathered "
+                              "findings (default: "
+                              "analysis-baseline.json when present)")
+    analyze.add_argument("--no-baseline", action="store_true",
+                         help="ignore any baseline file")
+    analyze.add_argument("--write-baseline", action="store_true",
+                         help="grandfather all current findings into "
+                              "the baseline file and exit")
+    analyze.add_argument("--list-checkers", action="store_true",
+                         help="print the checker table and exit")
     return parser
 
 
@@ -775,6 +796,51 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 1
 
 
+_DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def _run_analyze(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis import (Baseline, analyze_paths, checker_table)
+
+    if args.list_checkers:
+        for code, name, rationale in checker_table():
+            print(f"{code}  {name}: {rationale}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path: {missing[0]}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline) if args.baseline \
+        else Path(_DEFAULT_BASELINE)
+    baseline = None
+    if not args.no_baseline and not args.write_baseline \
+            and baseline_path.exists():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, OSError, KeyError) as error:
+            print(f"bad baseline {baseline_path}: {error}",
+                  file=sys.stderr)
+            return 2
+
+    report = analyze_paths(paths, root=Path.cwd(), baseline=baseline)
+
+    if args.write_baseline:
+        Baseline(report.findings).save(baseline_path)
+        print(f"wrote {len(report.findings)} finding(s) to "
+              f"{baseline_path}")
+        return 0
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return report.exit_code()
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -782,7 +848,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "info": _run_info, "convert": _run_convert,
                 "sweep": _run_sweep, "flow": _run_flow,
                 "obs": _run_obs, "cache": _run_cache,
-                "net": _run_net, "serve": _run_serve}
+                "net": _run_net, "serve": _run_serve,
+                "analyze": _run_analyze}
     return handlers[args.command](args)
 
 

@@ -54,7 +54,7 @@ def run(n_nodes: int = 200, average_degree: float = 3.0,
     accumulator: Dict[str, List[List[float]]] = \
         {method.code: [[] for _ in etas] for method in methods}
     rngs = spawn_rngs(seed, repetitions)
-    for repetition, rng in enumerate(rngs):
+    for _repetition, rng in enumerate(rngs):
         topology_seed = int(rng.integers(2 ** 31))
         noise_seed = int(rng.integers(2 ** 31))
         truth = barabasi_albert(n_nodes, average_degree / 2.0,

@@ -29,7 +29,7 @@ class FullReport:
         banner = ("Reproduction report — 'Network Backboning with Noisy "
                   "Data' (Coscia & Neffke, ICDE 2017)")
         parts = [banner, "=" * len(banner)]
-        for name, section in self.sections.items():
+        for section in self.sections.values():
             parts.append("")
             parts.append(section)
         return "\n".join(parts)

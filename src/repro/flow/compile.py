@@ -25,6 +25,7 @@ The result, one :class:`CompiledPlan` per plan, is everything
 
 from __future__ import annotations
 
+from contextlib import suppress
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -203,10 +204,8 @@ def _resolve_stream(source, store: Optional[ScoreStore], streams):
     if store is not None and store.resolve_source(source_fp) is None:
         store.bind_source(source_fp, stream.table_fp)
     found = (source_fp, stream)
-    try:
+    with suppress(TypeError):
         streams[source] = found
-    except TypeError:
-        pass
     return found
 
 

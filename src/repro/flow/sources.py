@@ -48,6 +48,7 @@ force refetches.
 from __future__ import annotations
 
 import atexit
+import contextlib
 import hashlib
 import os
 import posixpath
@@ -185,10 +186,8 @@ def fetch_cache_limit() -> int:
         return _FETCH_CACHE_LIMIT
     text = os.environ.get("REPRO_FETCH_CACHE_BYTES")
     if text is not None:
-        try:
+        with contextlib.suppress(ValueError):
             return max(0, int(text))
-        except ValueError:
-            pass
     return DEFAULT_FETCH_CACHE_BYTES
 
 

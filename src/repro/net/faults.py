@@ -25,6 +25,7 @@ outages); together they cover the failure stack end to end.
 
 from __future__ import annotations
 
+import contextlib
 import socket
 import threading
 import time
@@ -108,10 +109,8 @@ class ChaosProxy:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
-        try:
+        with contextlib.suppress(OSError):
             self._listener.close()
-        except OSError:
-            pass
 
     def __enter__(self) -> "ChaosProxy":
         return self.start()
@@ -152,10 +151,8 @@ class ChaosProxy:
                 else None
             self._pipe(client, limit)
         finally:
-            try:
+            with contextlib.suppress(OSError):
                 client.close()
-            except OSError:
-                pass
 
     def _pipe(self, client: socket.socket,
               response_limit: Optional[int]) -> None:
@@ -177,10 +174,8 @@ class ChaosProxy:
             except OSError:
                 pass
             finally:
-                try:
+                with contextlib.suppress(OSError):
                     upstream.shutdown(socket.SHUT_WR)
-                except OSError:
-                    pass
 
         pump = threading.Thread(target=forward_requests, daemon=True)
         pump.start()
@@ -203,7 +198,5 @@ class ChaosProxy:
             pass
         finally:
             done.set()
-            try:
+            with contextlib.suppress(OSError):
                 upstream.close()
-            except OSError:
-                pass

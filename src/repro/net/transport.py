@@ -24,6 +24,7 @@ private in-memory cache.
 
 from __future__ import annotations
 
+import contextlib
 import socket
 import threading
 from typing import Any, Dict, Optional
@@ -101,10 +102,8 @@ class SocketKVTransport:
 
     def _drop(self) -> None:
         if self._sock is not None:
-            try:
+            with contextlib.suppress(OSError):
                 self._sock.close()
-            except OSError:
-                pass
             self._sock = None
 
     # ------------------------------------------------------------------
@@ -128,23 +127,22 @@ class SocketKVTransport:
             header["value"] = slim
         _NET_REQUESTS.inc(op=op)
         with span("net.request", op=op, host=self.host,
-                  port=self.port):
-            with self._lock:
-                try:
-                    reply, body = self._exchange(
-                        encode_frame(header, payload), budget)
-                except socket.timeout as error:
-                    self._drop()
-                    _NET_ERRORS.inc(kind="timeout")
-                    raise KVTimeoutError(
-                        f"{op} to {self.host}:{self.port} timed out "
-                        f"after {budget:.3f}s") from error
-                except (OSError, EOFError, FrameError) as error:
-                    self._drop()
-                    _NET_ERRORS.inc(kind="transient")
-                    raise KVTransientError(
-                        f"{op} to {self.host}:{self.port} failed: "
-                        f"{error}") from error
+                  port=self.port), self._lock:
+            try:
+                reply, body = self._exchange(
+                    encode_frame(header, payload), budget)
+            except socket.timeout as error:
+                self._drop()
+                _NET_ERRORS.inc(kind="timeout")
+                raise KVTimeoutError(
+                    f"{op} to {self.host}:{self.port} timed out "
+                    f"after {budget:.3f}s") from error
+            except (OSError, EOFError, FrameError) as error:
+                self._drop()
+                _NET_ERRORS.inc(kind="transient")
+                raise KVTransientError(
+                    f"{op} to {self.host}:{self.port} failed: "
+                    f"{error}") from error
         return self._interpret(op, reply, body)
 
     def _exchange(self, frame: bytes, budget: float):

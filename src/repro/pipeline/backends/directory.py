@@ -18,6 +18,7 @@ is recomputed rather than trusted.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
@@ -112,11 +113,9 @@ class DirectoryBackend(StoreBackend):
     def delete(self, key: str) -> bool:
         removed = False
         for path in self._paths(key):
-            try:
+            with contextlib.suppress(OSError):
                 path.unlink()
                 removed = True
-            except OSError:
-                pass
         return removed
 
     def keys(self) -> List[str]:
@@ -212,11 +211,9 @@ class DirectoryBackend(StoreBackend):
     def _touch(self, json_path: Path, meta: Dict[str, object]) -> None:
         """Record the access in the sidecar (best effort)."""
         meta["last_access"] = self._clock()
-        try:
+        with contextlib.suppress(OSError, TypeError):
             text = json.dumps(meta, sort_keys=True, indent=1)
             self._atomic_write(json_path, text.encode())
-        except (OSError, TypeError):
-            pass
 
     def _atomic_write(self, path: Path, payload: bytes) -> None:
         descriptor, temp_name = tempfile.mkstemp(dir=path.parent,

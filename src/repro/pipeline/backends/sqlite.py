@@ -16,6 +16,7 @@ deleted, never served.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import sqlite3
 import time
@@ -59,12 +60,10 @@ class SQLiteBackend(StoreBackend):
         self._clock = clock
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(str(self.path), timeout=timeout)
-        try:
+        # Some filesystems refuse WAL; rollback journal still works.
+        with contextlib.suppress(sqlite3.DatabaseError):
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
-        except sqlite3.DatabaseError:
-            # Some filesystems refuse WAL; rollback journal still works.
-            pass
         try:
             with self._conn:
                 self._conn.execute(_SCHEMA)
@@ -105,13 +104,11 @@ class SQLiteBackend(StoreBackend):
             self.delete(key)
             raise BackendCorruption(str(error)) from error
         if touch:
-            try:
-                with self._conn:
-                    self._conn.execute(
-                        "UPDATE entries SET last_access = ? WHERE key = ?",
-                        (self._clock(), key))
-            except sqlite3.DatabaseError:
-                pass
+            with contextlib.suppress(sqlite3.DatabaseError), \
+                    self._conn:
+                self._conn.execute(
+                    "UPDATE entries SET last_access = ? WHERE key = ?",
+                    (self._clock(), key))
         return RawEntry(meta=meta,
                         payload=None if payload is None else bytes(payload))
 

@@ -271,7 +271,8 @@ class BackboneDaemon:
         self._server = ThreadingHTTPServer((self._host, self._port),
                                            handler)
         self._server.daemon_threads = True
-        self._stopping = False
+        with self._cond:
+            self._stopping = False
         self._stopped.clear()
         self._probe_stop.clear()
         self._threads = [

@@ -172,6 +172,9 @@ class KillWorkerOnce:
 def _trip(flag_path: str) -> bool:
     """Atomically create ``flag_path``; True when this call created it."""
     try:
+        # repro: ignore[RPA004] raw fd closed on the next statement;
+        # O_CREAT|O_EXCL is the atomic create-once idiom and nothing
+        # between open and close can raise
         fd = os.open(flag_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
     except FileExistsError:
         return False

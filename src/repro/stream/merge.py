@@ -151,6 +151,11 @@ class _RunReader:
     def __len__(self) -> int:
         return len(self.src) - self._start
 
+    def close(self) -> None:
+        """Release the run file (idempotent; EOF closes it too)."""
+        if not self._handle.closed:
+            self._handle.close()
+
     def _column(self, index: int, rows: int) -> np.ndarray:
         # Layout: int64 count, then src/dst/weight segments — all
         # 8-byte items, so offsets are uniform in elements.
@@ -232,6 +237,16 @@ def merge_runs(paths: List[Path], block_rows: int,
     strictly increasing key order with duplicate keys already summed.
     """
     readers = [_RunReader(path, block_rows) for path in paths]
+    try:
+        _merge_readers(readers, emit)
+    finally:
+        for reader in readers:
+            reader.close()
+
+
+def _merge_readers(readers: List["_RunReader"],
+                   emit: Callable[[np.ndarray, np.ndarray, np.ndarray],
+                                  None]) -> None:
     for reader in readers:
         reader.load_more()
     while True:

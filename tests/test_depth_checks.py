@@ -21,8 +21,8 @@ class TestDisparityClosedForm:
         weights = np.array([1.0, 4.0, 6.0, 9.0])
         table = EdgeTable([0] * 4, [1, 2, 3, 4], weights, directed=False)
         scored = DisparityFilter().score(table)
-        for (u, v, w), score in zip(scored.table.iter_edges(),
-                                    scored.score):
+        for (_u, _v, w), score in zip(scored.table.iter_edges(),
+                                      scored.score):
             share = w / s
             grid = np.linspace(0, share, 20001)
             integral = np.trapezoid((1 - grid) ** (k - 2), grid)

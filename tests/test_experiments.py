@@ -99,7 +99,7 @@ class TestFig5:
 
     def test_ccdf_series_valid(self, small_world):
         result = fig5_weights.run(world=small_world)
-        for x, share in result.ccdf.values():
+        for _x, share in result.ccdf.values():
             assert share[0] == pytest.approx(1.0)
             assert np.all(np.diff(share) < 0)
 

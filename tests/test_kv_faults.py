@@ -215,7 +215,7 @@ class TestStoreDegradation:
         with caplog.at_level(logging.WARNING, logger="repro.pipeline"):
             store.put("a", scored)
             store.put("b", scored)
-            "c" in store
+            _ = "c" in store
         warnings = [r for r in caplog.records
                     if "degrading" in r.getMessage()]
         assert len(warnings) == 1

@@ -201,18 +201,16 @@ class TestTracing:
         assert {s.trace_id for s in spans} == {root.trace_id}
 
     def test_exception_marks_span_and_propagates(self):
-        with pytest.raises(KeyError):
-            with trace("root") as root:
-                with span("failing"):
-                    raise KeyError("boom")
+        with pytest.raises(KeyError), trace("root") as root, \
+                span("failing"):
+            raise KeyError("boom")
         spans = TRACER.pop(root.trace_id)
         failing = next(s for s in spans if s.name == "failing")
         assert failing.attributes["error"] == "KeyError"
 
     def test_add_attributes_hits_innermost_live_span(self):
-        with trace("root") as root:
-            with span("work"):
-                assert add_attributes(rows=42)
+        with trace("root") as root, span("work"):
+            assert add_attributes(rows=42)
         spans = TRACER.pop(root.trace_id)
         work = next(s for s in spans if s.name == "work")
         assert work.attributes["rows"] == 42
@@ -284,11 +282,10 @@ def _trip(flag_path):
 
 class TestWorkerPropagation:
     def test_worker_spans_land_under_the_correct_parent(self):
-        with trace("unit.root") as root:
-            with span("fanout") as fan:
-                fan_id = fan.span_id
-                results = parallel_map(traced_square, list(range(6)),
-                                       workers=2)
+        with trace("unit.root") as root, span("fanout") as fan:
+            fan_id = fan.span_id
+            results = parallel_map(traced_square, list(range(6)),
+                                   workers=2)
         assert results == [i * i for i in range(6)]
         spans = TRACER.pop(root.trace_id)
         tasks = [s for s in spans if s.name == "task.square"]
@@ -299,9 +296,8 @@ class TestWorkerPropagation:
         assert os.getpid() not in {s.attributes["pid"] for s in tasks}
 
     def test_serial_path_records_spans_inline(self):
-        with trace("unit.root") as root:
-            with span("fanout") as fan:
-                parallel_map(traced_square, [1, 2, 3], workers=1)
+        with trace("unit.root") as root, span("fanout") as fan:
+            parallel_map(traced_square, [1, 2, 3], workers=1)
         spans = TRACER.pop(root.trace_id)
         tasks = [s for s in spans if s.name == "task.square"]
         assert len(tasks) == 3
@@ -319,10 +315,9 @@ class TestWorkerPropagation:
         before = retry_counter.value()
         flag = str(tmp_path / "died")
         payloads = [(i, flag) for i in range(6)]
-        with trace("unit.root") as root:
-            with span("fanout") as fan:
-                results = parallel_map(traced_die_once, payloads,
-                                       workers=2, retry_serial=True)
+        with trace("unit.root") as root, span("fanout") as fan:
+            results = parallel_map(traced_die_once, payloads,
+                                   workers=2, retry_serial=True)
         assert results == [i * i for i in range(6)]
         assert os.path.exists(flag), "the kill hook must have fired"
         spans = TRACER.pop(root.trace_id)

@@ -14,6 +14,7 @@
 - requests slower than ``slow_request_s`` are logged and counted.
 """
 
+import contextlib
 import logging
 import threading
 import time
@@ -167,11 +168,9 @@ class TestConcurrentConsistency:
                 outcomes.append(reply["results"][0]["ok"])
 
             def doomed():
-                try:
+                with contextlib.suppress(DeadlineExceeded):
                     ServeClient(port=daemon.port).run([artifact],
                                                       deadline=0.001)
-                except DeadlineExceeded:
-                    pass
 
             threads = [threading.Thread(target=normal)
                        for _ in range(4)]
@@ -259,13 +258,13 @@ class TestSlowRequestLog:
         artifact = flow(edges_file(tmp_path, 25)) \
             .method("NT").budget(share=0.3).to_json()
         with caplog.at_level(logging.WARNING,
-                             logger="repro.serve.daemon"):
-            with BackboneDaemon(port=0, batch_window=0.01,
-                                slow_request_s=0.0) as daemon:
-                client = ServeClient(port=daemon.port)
-                client.run([artifact])
-                series = parse_prometheus(client.metrics())
-                config = client.status()["config"]
+                             logger="repro.serve.daemon"), \
+                BackboneDaemon(port=0, batch_window=0.01,
+                               slow_request_s=0.0) as daemon:
+            client = ServeClient(port=daemon.port)
+            client.run([artifact])
+            series = parse_prometheus(client.metrics())
+            config = client.status()["config"]
         assert total(series, "repro_daemon_slow_requests_total") >= 1
         assert "slow request" in caplog.text
         assert config["slow_request_s"] == 0.0
@@ -275,10 +274,10 @@ class TestSlowRequestLog:
         artifact = flow(edges_file(tmp_path, 27)) \
             .method("NT").budget(share=0.3).to_json()
         with caplog.at_level(logging.WARNING,
-                             logger="repro.serve.daemon"):
-            with BackboneDaemon(port=0, batch_window=0.01) as daemon:
-                client = ServeClient(port=daemon.port)
-                client.run([artifact])
-                series = parse_prometheus(client.metrics())
+                             logger="repro.serve.daemon"), \
+                BackboneDaemon(port=0, batch_window=0.01) as daemon:
+            client = ServeClient(port=daemon.port)
+            client.run([artifact])
+            series = parse_prometheus(client.metrics())
         assert total(series, "repro_daemon_slow_requests_total") == 0
         assert "slow request" not in caplog.text

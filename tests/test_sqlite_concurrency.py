@@ -40,7 +40,7 @@ def _hammer(payload):
     rng = np.random.default_rng(worker_id)
     store = ScoreStore(db_path)
     served = 0
-    for op in range(OPS_PER_WORKER):
+    for _op in range(OPS_PER_WORKER):
         slot = int(rng.integers(0, SHARED_KEYS))
         roll = rng.random()
         if roll < 0.55:
